@@ -1,0 +1,34 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper figure at a reduced scale (so the
+whole suite runs in minutes) and prints the figure's table — the rows
+the paper reports — to stdout.  Absolute times differ from the paper
+(this substrate is a simulator, not the authors' ModelNet cluster); the
+*shape* — orderings, rough ratios, crossovers — is asserted loosely in
+the accompanying checks.
+
+Scale knobs: set ``REPRO_BENCH_NODES`` / ``REPRO_BENCH_BLOCKS`` in the
+environment to run closer to paper scale (100 nodes, 6400 blocks).
+"""
+
+import os
+
+import pytest
+
+#: Reduced default scale for CI-speed runs.
+BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "20"))
+BENCH_BLOCKS = int(os.environ.get("REPRO_BENCH_BLOCKS", "128"))
+
+
+@pytest.fixture
+def bench_scale():
+    return {"num_nodes": BENCH_NODES, "num_blocks": BENCH_BLOCKS}
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark.
+
+    Figure experiments are deterministic and expensive; statistical
+    repetition adds nothing.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,57 @@
+"""Ablation: RanSub epoch-length sensitivity.
+
+Bullet' fixes the collect/distribute period at 5 seconds.  Shorter
+epochs give fresher peer candidates and faster adaptation at the price
+of control traffic; much longer epochs starve the peering logic.  The
+sweep quantifies both directions on the lossy mesh.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.report import FigureData
+from repro.harness.systems import bullet_prime_factory
+from repro.sim.topology import mesh_topology
+
+
+def _control_bytes(result):
+    return sum(
+        conn.control_bytes_sent
+        for node in result.nodes.values()
+        for conn in node.endpoint.connections
+    )
+
+
+def _sweep(num_nodes, num_blocks, seed=2):
+    fig = FigureData(
+        "ablation-epoch",
+        "RanSub epoch period sweep (5 s in the paper)",
+        reference="epoch-5s",
+    )
+    for period in (2.0, 5.0, 15.0):
+        label = f"epoch-{period:.0f}s"
+        result = run_experiment(
+            mesh_topology(num_nodes, seed=seed),
+            bullet_prime_factory(
+                num_blocks=num_blocks, seed=seed, ransub_epoch=period
+            ),
+            num_blocks,
+            max_time=6000.0,
+            seed=seed,
+        )
+        fig.add_series(label, list(result.trace.completion_times.values()))
+        fig.add_scalar(f"{label} control KB", _control_bytes(result) / 1024)
+    return fig
+
+
+def test_bench_ablation_epoch(benchmark, bench_scale):
+    fig = run_once(benchmark, lambda: _sweep(**bench_scale))
+    print()
+    print(fig.render())
+    # Slower epochs must not produce *more* control traffic.
+    assert (
+        fig.scalars["epoch-15s control KB"]
+        <= fig.scalars["epoch-2s control KB"]
+    )
+    # A 15s epoch visibly delays peering at small scale.
+    assert fig.cdf("epoch-5s").median <= fig.cdf("epoch-15s").median * 1.1

@@ -1,0 +1,52 @@
+"""Ablation: the 1.5-sigma sender-pruning threshold.
+
+The paper argues (section 3.3.1) that pruning at 1 sigma closes too
+many peers and 2 sigma closes almost none; 1.5 sigma keeps only the
+peers that are genuinely dragging.  This ablation sweeps the threshold
+on the lossy mesh and reports the completion CDF per setting.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.report import FigureData
+from repro.harness.systems import bullet_prime_factory
+from repro.sim.topology import mesh_topology
+
+
+def _sweep(num_nodes, num_blocks, seed=2):
+    fig = FigureData(
+        "ablation-prune",
+        "sender pruning threshold sweep (design choice, section 3.3.1)",
+        reference="sigma-1.5",
+    )
+    for sigma in (1.0, 1.5, 2.0):
+        result = run_experiment(
+            mesh_topology(num_nodes, seed=seed),
+            bullet_prime_factory(
+                num_blocks=num_blocks, seed=seed, prune_sigma=sigma
+            ),
+            num_blocks,
+            max_time=6000.0,
+            seed=seed,
+        )
+        label = f"sigma-{sigma}"
+        fig.add_series(label, list(result.trace.completion_times.values()))
+        pruned = sum(
+            n.stats["senders_pruned"]
+            for n in result.nodes.values()
+            if not n.is_source
+        )
+        fig.add_scalar(f"{label} senders pruned", pruned)
+    return fig
+
+
+def test_bench_ablation_prune(benchmark, bench_scale):
+    fig = run_once(benchmark, lambda: _sweep(**bench_scale))
+    print()
+    print(fig.render())
+    # Aggressive pruning must actually close more peers than lax pruning.
+    assert (
+        fig.scalars["sigma-1.0 senders pruned"]
+        >= fig.scalars["sigma-2.0 senders pruned"]
+    )

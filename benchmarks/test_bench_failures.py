@@ -1,0 +1,67 @@
+"""Resilience under node failures (the paper's section-1 argument).
+
+Not a numbered figure, but the motivating claim of the whole mesh
+approach: "the failure of any single peer will typically only reduce
+the transmitted bandwidth by 1/n", whereas a tree loses entire
+subtrees and suffers reconnection storms.  This benchmark fails 20% of
+the overlay mid-download and compares Bullet' (mesh + tree repair)
+against SplitStream (unrepaired stripe trees) on survivor completion.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.report import FigureData
+from repro.harness.systems import bullet_prime_factory, splitstream_factory
+from repro.sim.topology import mesh_topology
+
+
+def _run(num_nodes, num_blocks, seed=9):
+    fig = FigureData(
+        "resilience",
+        "20% node failures mid-download: mesh vs stripe trees (section 1)",
+        reference="bullet_prime",
+    )
+    victims = [n for n in range(num_nodes) if n % 5 == 4]
+    failures = [(6.0 + 2.0 * i, v) for i, v in enumerate(victims)]
+    for label, factory in (
+        ("bullet_prime", bullet_prime_factory(num_blocks=num_blocks, seed=seed)),
+        ("splitstream", splitstream_factory(num_blocks=num_blocks, seed=seed)),
+    ):
+        result = run_experiment(
+            mesh_topology(num_nodes, seed=seed),
+            factory,
+            num_blocks,
+            failure_schedule=failures,
+            max_time=1800.0,
+            seed=seed,
+        )
+        survivors = num_nodes - 1 - len(result.failed_nodes)
+        done = [
+            t
+            for n, t in result.trace.completion_times.items()
+            if n != result.source_id and n not in result.failed_nodes
+        ]
+        fig.add_scalar(f"{label} survivors complete", len(done))
+        fig.add_scalar(f"{label} survivors total", survivors)
+        if done:
+            fig.add_series(label, done)
+    return fig
+
+
+def test_bench_failures(benchmark, bench_scale):
+    fig = run_once(
+        benchmark,
+        lambda: _run(
+            max(20, bench_scale["num_nodes"]),
+            max(96, bench_scale["num_blocks"] // 2),
+        ),
+    )
+    print()
+    print(fig.render())
+
+    bp_done = fig.scalars["bullet_prime survivors complete"]
+    bp_total = fig.scalars["bullet_prime survivors total"]
+    ss_done = fig.scalars["splitstream survivors complete"]
+    assert bp_done == bp_total, "every Bullet' survivor must complete"
+    assert bp_done >= ss_done, "the mesh must strand no more than the trees"

@@ -1,0 +1,31 @@
+"""Figure 10: per-peer outstanding requests on clean high-BDP links.
+
+Paper claims to preserve: with 10 Mbps / 100 ms links and no loss, a
+small fixed pipeline (3 blocks) cannot fill the bandwidth-delay product
+and loses badly; large fixed settings (15/50) win; the dynamic
+controller tracks the large settings.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig10_outstanding_clean
+
+
+def test_bench_fig10(benchmark, bench_scale):
+    fig = run_once(
+        benchmark,
+        lambda: fig10_outstanding_clean(
+            num_nodes=min(25, bench_scale["num_nodes"]),
+            num_blocks=bench_scale["num_blocks"],
+            seed=2,
+        ),
+    )
+    print()
+    print(fig.render())
+
+    small = fig.cdf("fixed-3")
+    large = fig.cdf("fixed-50")
+    dyn = fig.cdf("dynamic")
+    assert large.median < small.median, "high BDP: deep pipelines must win"
+    assert dyn.median <= small.median, "dynamic must beat the starved setting"
+    assert dyn.median <= large.median * 1.35, "dynamic must track deep settings"

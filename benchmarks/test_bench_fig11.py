@@ -1,0 +1,39 @@
+"""Figure 11: outstanding requests under random losses.
+
+Paper claims to preserve: loss-throttled TCP needs less data in flight;
+over-requesting (50) now *hurts* relative to the sweet spot, and the
+dynamic controller outperforms (or at least matches) every static
+setting because the right depth differs per peer and over time.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig11_outstanding_lossy
+
+
+def test_bench_fig11(benchmark, bench_scale):
+    # The pipeline-depth U-shape (3 starves, 50 over-queues) only
+    # separates once downloads outlast the startup transient: floor the
+    # file size at 480 blocks.
+    fig = run_once(
+        benchmark,
+        lambda: fig11_outstanding_lossy(
+            num_nodes=min(25, bench_scale["num_nodes"]),
+            num_blocks=max(480, bench_scale["num_blocks"]),
+            seed=2,
+        ),
+    )
+    print()
+    print(fig.render())
+
+    dyn = fig.cdf("dynamic")
+    best_static = min(
+        fig.cdf(label).median for label in fig.series if label != "dynamic"
+    )
+    assert dyn.median <= best_static * 1.05, (
+        "dynamic outstanding control must track the best static depth"
+    )
+    # Both extremes lose under loss: 3 cannot fill loss-free stretches,
+    # 50 waits on loss-throttled connections.
+    assert fig.cdf("fixed-3").median > dyn.median * 1.02
+    assert fig.cdf("fixed-50").median > dyn.median * 1.02

@@ -1,0 +1,29 @@
+"""Figure 12: cascading slowdowns of one node's senders.
+
+Paper claims to preserve: every 25 s another sender link of the
+throttled node collapses to 100 Kbps; queueing many blocks on a link
+that is about to collapse forces long waits, so the dynamic controller
+beats the large fixed settings on the throttled node (7-22% in the
+paper).
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig12_outstanding_cascading
+
+
+def test_bench_fig12(benchmark, bench_scale):
+    fig = run_once(
+        benchmark,
+        lambda: fig12_outstanding_cascading(
+            num_blocks=max(192, bench_scale["num_blocks"]), seed=2
+        ),
+    )
+    print()
+    print(fig.render())
+
+    dyn = fig.cdf("dynamic")
+    deep = fig.cdf("fixed-50")
+    assert dyn.maximum <= deep.maximum, (
+        "dynamic must beat 50-outstanding on the collapsing-link node"
+    )

@@ -1,0 +1,28 @@
+"""Figure 14: the wide-area (PlanetLab-like) comparison.
+
+Paper claim to preserve: Bullet' consistently outperforms Bullet,
+BitTorrent and SplitStream on heterogeneous wide-area paths.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig14_planetlab
+
+
+def test_bench_fig14(benchmark, bench_scale):
+    fig = run_once(
+        benchmark,
+        lambda: fig14_planetlab(
+            num_nodes=max(20, bench_scale["num_nodes"]),
+            num_blocks=bench_scale["num_blocks"],
+            seed=2,
+        ),
+    )
+    print()
+    print(fig.render())
+
+    bp = fig.cdf("bullet_prime")
+    others = [fig.cdf(s) for s in fig.series if s != "bullet_prime"]
+    assert all(bp.median < o.median * 1.05 for o in others), (
+        "Bullet' must lead (or tie within 5%) in the wide area"
+    )

@@ -1,0 +1,24 @@
+"""Figure 6: request strategies — first-encountered vs random vs
+rarest-random.
+
+Paper claim to preserve: first-encountered is the worst (lockstep, poor
+block diversity); rarest-random leads for most of the CDF.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig6_request_strategies
+
+
+def test_bench_fig6(benchmark, bench_scale):
+    fig = run_once(
+        benchmark, lambda: fig6_request_strategies(seed=2, **bench_scale)
+    )
+    print()
+    print(fig.render())
+
+    rarest = fig.cdf("rarest_random")
+    first = fig.cdf("first")
+    assert rarest.median <= first.median, (
+        "rarest-random must not lose to first-encountered"
+    )

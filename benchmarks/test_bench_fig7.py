@@ -1,0 +1,33 @@
+"""Figure 7: static peer-set sizes (6/10/14) vs dynamic, lossy mesh.
+
+Paper claims to preserve: with random losses, more peers help (14 beats
+10 beats 6 — more TCP flows are more resilient to loss), and the
+dynamic policy tracks the best static configuration.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig7_peer_sets_static_loss
+
+
+def test_bench_fig7(benchmark, bench_scale):
+    # The 6-vs-14 separation needs an overlay larger than the peer sets
+    # themselves: floor at 40 nodes / 320 blocks.
+    num_nodes = max(40, bench_scale["num_nodes"])
+    num_blocks = max(320, bench_scale["num_blocks"])
+    fig = run_once(
+        benchmark,
+        lambda: fig7_peer_sets_static_loss(
+            num_nodes=num_nodes, num_blocks=num_blocks, seed=2
+        ),
+    )
+    print()
+    print(fig.render())
+
+    s6 = fig.cdf("static-6")
+    s14 = fig.cdf("static-14")
+    dyn = fig.cdf("dynamic")
+    assert s14.median < s6.median, "lossy mesh: more peers must help"
+    # Dynamic stays within 25% of the best static choice at the median.
+    best = min(s6.median, s14.median, fig.cdf("static-10").median)
+    assert dyn.median <= best * 1.25

@@ -1,0 +1,30 @@
+"""Figure 8: peer-set sizing under synthetic bandwidth changes.
+
+Paper claim to preserve: the dynamic policy matches (sometimes exceeds)
+the best static setup when conditions keep shifting.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig8_peer_sets_dynamic
+
+
+def test_bench_fig8(benchmark, bench_scale):
+    num_nodes = max(40, bench_scale["num_nodes"])
+    num_blocks = max(320, bench_scale["num_blocks"])
+    fig = run_once(
+        benchmark,
+        lambda: fig8_peer_sets_dynamic(
+            num_nodes=num_nodes, num_blocks=num_blocks, seed=2
+        ),
+    )
+    print()
+    print(fig.render())
+
+    dyn = fig.cdf("dynamic")
+    best_static = min(
+        fig.cdf(label).median for label in fig.series if label != "dynamic"
+    )
+    assert dyn.median <= best_static * 1.3, (
+        "dynamic peering must track the best static choice under dynamics"
+    )

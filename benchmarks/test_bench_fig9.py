@@ -1,0 +1,33 @@
+"""Figure 9: constrained access links flip the peer-set answer.
+
+Paper claims to preserve: with narrow access links and a clean core,
+*fewer* peers win (more maximizing TCP flows compete on the access link
+and control overhead grows) — the opposite of Figure 7 — and the
+dynamic policy tracks the better static setup.  Together with Figure 7
+this is the impossibility argument for any single static size.
+"""
+
+from conftest import run_once
+
+from repro.harness.figures import fig9_peer_sets_constrained
+
+
+def test_bench_fig9(benchmark, bench_scale):
+    fig = run_once(
+        benchmark,
+        lambda: fig9_peer_sets_constrained(
+            num_nodes=bench_scale["num_nodes"],
+            num_blocks=max(48, bench_scale["num_blocks"] // 4),
+            seed=2,
+        ),
+    )
+    print()
+    print(fig.render())
+
+    s10 = fig.cdf("static-10")
+    s14 = fig.cdf("static-14")
+    dyn = fig.cdf("dynamic")
+    assert s10.median <= s14.median * 1.02, (
+        "constrained access: more peers must not win"
+    )
+    assert dyn.median <= max(s10.median, s14.median) * 1.15

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Watch Bullet's adaptivity work: peers and outstanding requests.
+
+Reproduces the paper's two adaptivity arguments on small topologies:
+
+- *peer sets* (Figures 7-9): no static sender count suits both a lossy
+  wide-area mesh and a constrained-access network — the dynamic policy
+  tracks the better static choice in each;
+- *outstanding requests* (Figures 10-12): a fixed request pipeline
+  either starves high bandwidth-delay paths or queues too much on
+  collapsing ones — the XCP-style controller adapts per peer.
+
+Run:  python examples/adaptive_flow_control.py
+"""
+
+from repro.common.units import KiB, MBPS, MS
+from repro.harness.experiment import run_experiment
+from repro.harness.systems import bullet_prime_factory
+from repro.sim.topology import constrained_access_topology, mesh_topology, star_topology
+
+
+def peer_set_demo():
+    print("=== adaptive peer sets (Figures 7/9) ===")
+    scenarios = {
+        "lossy mesh (more peers help)": lambda: mesh_topology(20, seed=5),
+        "constrained access (fewer peers help)": lambda: constrained_access_topology(
+            20, seed=5
+        ),
+    }
+    for title, topo_factory in scenarios.items():
+        print(f"\n{title}")
+        for label, overrides in (
+            ("static-6", dict(adaptive_peering=False, initial_senders=6, initial_receivers=6)),
+            ("static-14", dict(adaptive_peering=False, initial_senders=14, initial_receivers=14)),
+            ("dynamic", dict(adaptive_peering=True)),
+        ):
+            result = run_experiment(
+                topo_factory(),
+                bullet_prime_factory(num_blocks=96, seed=5, **overrides),
+                96,
+                max_time=3000.0,
+                seed=5,
+            )
+            cdf = result.completion_cdf()
+            print(f"  {label:10s} median {cdf.median:7.1f} s   worst {cdf.maximum:7.1f} s")
+
+
+def outstanding_demo():
+    print("\n=== adaptive outstanding requests (Figure 10) ===")
+    # High bandwidth-delay product: 10 Mbps, 100 ms dedicated links.
+    for label, overrides in (
+        ("fixed-3", dict(adaptive_outstanding=False, fixed_outstanding=3)),
+        ("fixed-50", dict(adaptive_outstanding=False, fixed_outstanding=50)),
+        ("dynamic", dict(adaptive_outstanding=True)),
+    ):
+        result = run_experiment(
+            star_topology(12, core_bw=10 * MBPS, core_delay=100 * MS),
+            bullet_prime_factory(
+                num_blocks=192,
+                block_size=8 * KiB,
+                seed=5,
+                adaptive_peering=False,
+                initial_senders=5,
+                initial_receivers=5,
+                **overrides,
+            ),
+            192,
+            max_time=3000.0,
+            seed=5,
+        )
+        cdf = result.completion_cdf()
+        print(f"  {label:10s} median {cdf.median:7.1f} s   worst {cdf.maximum:7.1f} s")
+    print("\nfixed-3 cannot fill the 10 Mbps x 100 ms pipe; the dynamic")
+    print("controller converges to a deep enough pipeline on its own.")
+
+
+def main():
+    peer_set_demo()
+    outstanding_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""End-to-end file transfer with rateless erasure codes (paper 2.2/4.6).
+
+Demonstrates the codec substrate on real bytes and quantifies the
+systems effects the paper discusses:
+
+- reception overhead (blocks needed beyond n) for several file sizes;
+- the late cascade of the decoding process (little progress until near
+  the end);
+- segmented encoding for files larger than "memory" and the multi-
+  segment retrieval problem it creates.
+
+Run:  python examples/erasure_coded_transfer.py
+"""
+
+from repro.codec.lt import LtDecoder, LtEncoder
+from repro.codec.segments import SegmentedDecoder, SegmentedEncoder
+from repro.core.download import FileObject
+
+
+def overhead_table():
+    print("=== reception overhead vs file size ===")
+    print(f"{'blocks':>8s} {'fed':>8s} {'overhead':>9s}")
+    for k in (50, 200, 800):
+        fo = FileObject.synthetic(k * 256, 256, seed=1)
+        encoder = LtEncoder([fo.block(i) for i in range(k)], seed=1)
+        decoder = LtDecoder(k, 256)
+        for encoded in encoder.stream(k * 4):
+            decoder.add(encoded)
+            if decoder.complete:
+                break
+        assert decoder.reconstruct() == fo.data
+        print(f"{k:8d} {decoder.blocks_fed:8d} {decoder.overhead():8.1%}")
+    print("(the paper quotes ~4% for tuned production codes; plain LT at")
+    print(" small k pays more — exactly the 'hard to make arbitrarily")
+    print(" small' point of section 2.2)")
+
+
+def decode_cascade():
+    print("\n=== decode progress cascades late ===")
+    k = 300
+    fo = FileObject.synthetic(k * 128, 128, seed=2)
+    encoder = LtEncoder([fo.block(i) for i in range(k)], seed=2)
+    decoder = LtDecoder(k, 128)
+    checkpoints = {int(k * f): None for f in (0.5, 0.8, 1.0, 1.1, 1.2)}
+    fed = 0
+    for encoded in encoder.stream(k * 4):
+        decoder.add(encoded)
+        fed += 1
+        if fed in checkpoints:
+            checkpoints[fed] = decoder.decoded_count
+        if decoder.complete:
+            break
+    for fed_count, decoded in checkpoints.items():
+        if decoded is not None:
+            print(f"  after {fed_count:4d} blocks fed: {decoded:4d}/{k} decoded")
+    print(f"  complete after {decoder.blocks_fed} blocks")
+
+
+def segmented_transfer():
+    print("\n=== segmented encoding (file larger than memory) ===")
+    data = FileObject.synthetic(64 * 1024, 512, seed=3).data
+    encoder = SegmentedEncoder(data, block_len=512, blocks_per_segment=32)
+    decoder = SegmentedDecoder(len(data), 512, 32)
+    print(f"  {len(data)} B split into {encoder.num_segments} segments")
+    rounds = 0
+    while not decoder.complete:
+        rounds += 1
+        # A receiver must locate senders for *every* incomplete segment
+        # simultaneously (section 2.2's multi-segment problem).
+        for segment in decoder.incomplete_segments():
+            decoder.add(segment, encoder.encode(segment))
+    assert decoder.reconstruct() == data
+    print(f"  reconstructed byte-identical after {rounds} rounds, "
+          f"aggregate overhead {decoder.overhead():.1%}")
+
+
+def main():
+    overhead_table()
+    decode_cascade()
+    segmented_transfer()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Flash crowd: Bullet' vs Bullet vs BitTorrent vs SplitStream.
+
+The scenario the paper's introduction motivates — a popular file
+appearing at one source with a crowd of receivers arriving at once —
+run twice: on the static lossy topology (paper Figure 4) and under the
+correlated bandwidth-decrease process (paper Figure 5).
+
+Run:  python examples/flash_crowd_comparison.py
+"""
+
+from repro.harness.experiment import run_experiment
+from repro.harness.systems import SYSTEM_FACTORIES
+from repro.sim.scenario import correlated_decreases
+from repro.sim.topology import mesh_topology
+
+
+def run_comparison(title, scenario_factory=None, num_nodes=24, num_blocks=160, seed=11):
+    print(f"\n=== {title} ===")
+    print(f"{'system':16s} {'median':>8s} {'p90':>8s} {'slowest':>8s} {'dups':>6s}")
+    medians = {}
+    for name, (builder, _cfg) in SYSTEM_FACTORIES.items():
+        topology = mesh_topology(num_nodes, seed=seed)
+        scenario = None
+        if scenario_factory is not None:
+            scenario = lambda sim, topo: scenario_factory(sim, topo)
+        result = run_experiment(
+            topology,
+            builder(num_blocks=num_blocks, seed=seed),
+            num_blocks,
+            scenario=scenario,
+            max_time=6000.0,
+            seed=seed,
+        )
+        cdf = result.completion_cdf()
+        medians[name] = cdf.median
+        print(
+            f"{name:16s} {cdf.median:8.1f} {cdf.percentile(0.9):8.1f} "
+            f"{cdf.maximum:8.1f} {result.trace.total_duplicates():6d}"
+        )
+    best_other = min(v for k, v in medians.items() if k != "bullet_prime")
+    gain = (best_other - medians["bullet_prime"]) / best_other * 100
+    print(f"Bullet' median vs best alternative: {gain:+.1f}%")
+
+
+def main():
+    run_comparison("static network with random losses (Fig. 4)")
+    run_comparison(
+        "correlated bandwidth decreases (Fig. 5)",
+        scenario_factory=lambda sim, topo: correlated_decreases(sim, topo, seed=11),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Compatibility shim for legacy editable installs.
+
+``pip install -e .`` uses pyproject.toml on modern toolchains; on
+environments without the ``wheel`` package (where PEP 517 editable
+builds fail on ``bdist_wheel``), fall back to::
+
+    pip install -e . --no-use-pep517
+
+which routes through this file.
+"""
+
+from setuptools import setup
+
+setup()

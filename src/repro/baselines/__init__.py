@@ -1,0 +1,33 @@
+"""Baseline dissemination systems the paper compares against.
+
+Each baseline is a faithful re-implementation of the protocol *core*
+running over the same simulator as Bullet', so performance differences
+reflect protocol design rather than substrate differences:
+
+- :mod:`repro.baselines.bittorrent` — tracker-coordinated swarm with
+  rarest-first piece selection and tit-for-tat choking (the paper used
+  the stock BitTorrent client; section 5 notes its hard-coded request
+  and peering constants).
+- :mod:`repro.baselines.splitstream` — an interior-node-disjoint forest
+  of k stripe trees, content pushed down each stripe (the paper used the
+  MACEDON "MS" SplitStream implementation, granted a 4% digital-fountain
+  encoding overhead instead of real coding).
+- :mod:`repro.baselines.bullet` — the original Bullet: disjoint data
+  pushed down a RanSub tree plus mesh recovery pulls from a *fixed-size*
+  peer set with periodic (not self-clocked) diffs; also granted the 4%
+  encoding overhead.
+"""
+
+from repro.baselines.bittorrent import BitTorrentConfig, BitTorrentNode, Tracker
+from repro.baselines.bullet import BulletConfig, BulletNode
+from repro.baselines.splitstream import SplitStreamConfig, SplitStreamNode
+
+__all__ = [
+    "BitTorrentConfig",
+    "BitTorrentNode",
+    "Tracker",
+    "BulletConfig",
+    "BulletNode",
+    "SplitStreamConfig",
+    "SplitStreamNode",
+]

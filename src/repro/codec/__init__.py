@@ -1,0 +1,32 @@
+"""Rateless erasure codes (paper section 2.2).
+
+An implementation of LT-style rateless codes following the publicly
+available specification the paper used [Maymounkov & Mazieres, IPTPS'03;
+Luby, FOCS'02]: encoded blocks are XORs of random subsets of the
+original blocks, with degrees drawn from the robust soliton
+distribution.  The decoder is the standard belief-propagation peeler.
+
+The paper's systems observations are reproduced and measurable here:
+
+- reception overhead (extra blocks beyond ``n`` needed to decode) is a
+  few percent and hard to drive to zero (section 2.2 quotes ~4%);
+- decoding makes little progress until nearly enough blocks arrive,
+  then cascades (:meth:`LtDecoder.decoded_count` against blocks fed);
+- decoding requires random access to all reconstructed blocks, which is
+  why the paper segments files to fit physical memory
+  (:class:`SegmentedEncoder`).
+"""
+
+from repro.codec.soliton import ideal_soliton, robust_soliton
+from repro.codec.lt import EncodedBlock, LtDecoder, LtEncoder
+from repro.codec.segments import SegmentedDecoder, SegmentedEncoder
+
+__all__ = [
+    "ideal_soliton",
+    "robust_soliton",
+    "EncodedBlock",
+    "LtEncoder",
+    "LtDecoder",
+    "SegmentedEncoder",
+    "SegmentedDecoder",
+]

@@ -1,0 +1,171 @@
+"""LT encoder and belief-propagation decoder.
+
+Encoded blocks are XORs of uniformly chosen source blocks; the block
+carries only its seed, from which the receiver re-derives the degree and
+neighbour set — matching the on-the-wire economy of the real codes.
+
+The decoder is the peeling decoder: degree-1 blocks release their
+neighbour, the released block is XORed out of every encoded block that
+references it, possibly creating new degree-1 blocks, and so on.  The
+memory-efficient discipline the paper footnotes (release an encoded
+block's buffer once all of its constituent source blocks are known) is
+what this implementation does — an encoded block is dropped the moment
+it peels to degree zero.
+"""
+
+from repro.common.rng import split_rng
+from repro.codec.soliton import robust_soliton, sample_degree
+
+__all__ = ["EncodedBlock", "LtEncoder", "LtDecoder"]
+
+
+class EncodedBlock:
+    """One rateless-encoded block: a seed plus the XOR payload."""
+
+    __slots__ = ("seed", "data")
+
+    def __init__(self, seed, data):
+        self.seed = seed
+        self.data = data
+
+    def __repr__(self):
+        return f"EncodedBlock(seed={self.seed}, len={len(self.data)})"
+
+
+def _neighbours(seed, k, pmf):
+    """Derive the (degree, neighbour set) a seed encodes."""
+    rng = split_rng(seed, "lt.block")
+    degree = sample_degree(pmf, rng)
+    return rng.sample(range(k), degree)
+
+
+def _xor(a, b):
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+class LtEncoder:
+    """Produces an unbounded stream of encoded blocks from ``blocks``."""
+
+    def __init__(self, blocks, c=0.03, delta=0.5, seed=0):
+        blocks = list(blocks)
+        if not blocks:
+            raise ValueError("cannot encode zero blocks")
+        lengths = {len(b) for b in blocks}
+        if len(lengths) != 1:
+            raise ValueError("all source blocks must have equal length")
+        self.blocks = [bytes(b) for b in blocks]
+        self.k = len(blocks)
+        self.block_len = lengths.pop()
+        self.pmf = robust_soliton(self.k, c=c, delta=delta)
+        self._next_seed = seed * 2_654_435_761 % (2**31)
+
+    def encode(self, seed=None):
+        """Return the encoded block for ``seed`` (or the next seed)."""
+        if seed is None:
+            seed = self._next_seed
+            self._next_seed += 1
+        data = None
+        for index in _neighbours(seed, self.k, self.pmf):
+            block = self.blocks[index]
+            data = block if data is None else _xor(data, block)
+        return EncodedBlock(seed, data)
+
+    def stream(self, count):
+        """Yield ``count`` encoded blocks with consecutive seeds."""
+        for _ in range(count):
+            yield self.encode()
+
+
+class LtDecoder:
+    """Peeling decoder; feed it encoded blocks until :attr:`complete`."""
+
+    def __init__(self, k, block_len, c=0.03, delta=0.5):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.block_len = block_len
+        self.pmf = robust_soliton(k, c=c, delta=delta)
+        self.decoded = {}
+        #: Pending encoded blocks: id -> [mutable payload, set of
+        #: unresolved neighbours].
+        self._pending = {}
+        self._by_source = {i: set() for i in range(k)}
+        self._next_id = 0
+        self.blocks_fed = 0
+        self.duplicate_seeds = set()
+        self._seen_seeds = set()
+
+    @property
+    def complete(self):
+        return len(self.decoded) == self.k
+
+    @property
+    def decoded_count(self):
+        return len(self.decoded)
+
+    def add(self, encoded):
+        """Feed one encoded block; returns the number of source blocks
+        newly decoded as a result (possibly zero)."""
+        if encoded.seed in self._seen_seeds:
+            self.duplicate_seeds.add(encoded.seed)
+            return 0
+        self._seen_seeds.add(encoded.seed)
+        self.blocks_fed += 1
+        before = len(self.decoded)
+
+        neighbours = set(_neighbours(encoded.seed, self.k, self.pmf))
+        payload = encoded.data
+        # Peel already-decoded neighbours out immediately.
+        for index in list(neighbours):
+            if index in self.decoded:
+                payload = _xor(payload, self.decoded[index])
+                neighbours.discard(index)
+        if not neighbours:
+            return 0  # pure redundancy; buffer released immediately
+        if len(neighbours) == 1:
+            self._release(neighbours.pop(), payload)
+        else:
+            block_id = self._next_id
+            self._next_id += 1
+            self._pending[block_id] = [payload, neighbours]
+            for index in neighbours:
+                self._by_source[index].add(block_id)
+        return len(self.decoded) - before
+
+    def _release(self, index, payload):
+        """A source block became known; propagate through the graph."""
+        stack = [(index, payload)]
+        while stack:
+            index, payload = stack.pop()
+            if index in self.decoded:
+                continue
+            self.decoded[index] = payload
+            for block_id in list(self._by_source[index]):
+                entry = self._pending.get(block_id)
+                if entry is None:
+                    continue
+                entry[0] = _xor(entry[0], payload)
+                entry[1].discard(index)
+                self._by_source[index].discard(block_id)
+                if len(entry[1]) == 1:
+                    last = entry[1].pop()
+                    self._by_source[last].discard(block_id)
+                    data = entry[0]
+                    del self._pending[block_id]
+                    stack.append((last, data))
+                elif not entry[1]:
+                    del self._pending[block_id]
+
+    def reconstruct(self):
+        """Return the concatenated source blocks; raises if incomplete."""
+        if not self.complete:
+            missing = [i for i in range(self.k) if i not in self.decoded]
+            raise RuntimeError(
+                f"decode incomplete: {len(missing)} source blocks missing "
+                f"after {self.blocks_fed} encoded blocks"
+            )
+        return b"".join(self.decoded[i] for i in range(self.k))
+
+    def overhead(self):
+        """Reception overhead so far: blocks fed beyond k, as a fraction."""
+        return max(0.0, self.blocks_fed / self.k - 1.0)

@@ -1,0 +1,34 @@
+"""Shared utilities for the Bullet' reproduction.
+
+This package holds small, dependency-free building blocks used by every
+other subpackage: block bitmaps, descriptive statistics and CDF helpers,
+unit constants, and deterministic RNG splitting.
+"""
+
+from repro.common.bitmap import BlockBitmap
+from repro.common.stats import Cdf, OnlineStats, mean_stddev
+from repro.common.rng import split_rng
+from repro.common.units import (
+    GBPS,
+    KBPS,
+    KiB,
+    MBPS,
+    MiB,
+    MS,
+    SECONDS,
+)
+
+__all__ = [
+    "BlockBitmap",
+    "Cdf",
+    "OnlineStats",
+    "mean_stddev",
+    "split_rng",
+    "GBPS",
+    "KBPS",
+    "KiB",
+    "MBPS",
+    "MiB",
+    "MS",
+    "SECONDS",
+]

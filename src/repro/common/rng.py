@@ -1,0 +1,29 @@
+"""Deterministic RNG splitting.
+
+Every experiment takes one integer seed.  Subsystems (topology generation,
+loss processes, protocol tie-breaking, scenario scripts) each receive an
+independent :class:`random.Random` derived from the master seed and a
+string label, so adding randomness to one subsystem never perturbs the
+draws seen by another.
+"""
+
+import hashlib
+import random
+
+__all__ = ["split_rng"]
+
+
+def split_rng(seed, label):
+    """Return a ``random.Random`` seeded from ``(seed, label)``.
+
+    The derivation hashes the pair, so distinct labels give statistically
+    independent streams and the mapping is stable across runs and Python
+    versions (``hash()`` randomization does not apply).
+
+    >>> split_rng(1, "a").random() == split_rng(1, "a").random()
+    True
+    >>> split_rng(1, "a").random() == split_rng(1, "b").random()
+    False
+    """
+    digest = hashlib.sha256(f"{seed}/{label}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))

@@ -1,0 +1,117 @@
+"""Descriptive statistics and CDF helpers.
+
+Every figure in the paper's evaluation is a CDF of per-node download
+times; :class:`Cdf` is the shared representation the harness renders.
+:class:`OnlineStats` provides the running mean/stddev the Bullet'
+peering strategy uses to prune slow senders (1.5 sigma rule).
+"""
+
+import math
+
+__all__ = ["Cdf", "OnlineStats", "mean_stddev"]
+
+
+def mean_stddev(values):
+    """Return ``(mean, population standard deviation)`` of ``values``.
+
+    Used by the peering strategy (paper section 3.3.1) to decide which
+    senders are ">= 1.5 standard deviations below the mean bandwidth".
+    An empty input returns ``(0.0, 0.0)``.
+    """
+    values = list(values)
+    if not values:
+        return 0.0, 0.0
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return mean, math.sqrt(variance)
+
+
+class OnlineStats:
+    """Welford running mean/variance accumulator."""
+
+    __slots__ = ("count", "_mean", "_m2")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value):
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self):
+        return self._mean if self.count else 0.0
+
+    @property
+    def stddev(self):
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / self.count)
+
+
+class Cdf:
+    """An empirical CDF over a finite sample (e.g. node completion times)."""
+
+    def __init__(self, samples):
+        self.samples = sorted(samples)
+        if not self.samples:
+            raise ValueError("Cdf requires at least one sample")
+
+    def __len__(self):
+        return len(self.samples)
+
+    def percentile(self, fraction):
+        """Value at ``fraction`` in [0, 1] (nearest-rank)."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if fraction == 0.0:
+            return self.samples[0]
+        rank = math.ceil(fraction * len(self.samples)) - 1
+        return self.samples[max(rank, 0)]
+
+    @property
+    def median(self):
+        return self.percentile(0.5)
+
+    @property
+    def minimum(self):
+        return self.samples[0]
+
+    @property
+    def maximum(self):
+        return self.samples[-1]
+
+    @property
+    def mean(self):
+        return sum(self.samples) / len(self.samples)
+
+    def fraction_below(self, value):
+        """Fraction of samples <= ``value`` (the CDF evaluated at value)."""
+        lo, hi = 0, len(self.samples)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.samples[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo / len(self.samples)
+
+    def points(self):
+        """Yield ``(value, cumulative_fraction)`` pairs for plotting."""
+        n = len(self.samples)
+        for i, value in enumerate(self.samples, start=1):
+            yield value, i / n
+
+    def table(self, fractions=(0.1, 0.25, 0.5, 0.75, 0.9, 1.0)):
+        """Return ``{fraction: value}`` rows as the paper reports them."""
+        return {f: self.percentile(f) for f in fractions}
+
+    def __repr__(self):
+        return (
+            f"Cdf(n={len(self)}, min={self.minimum:.2f}, "
+            f"median={self.median:.2f}, max={self.maximum:.2f})"
+        )

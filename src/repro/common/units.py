@@ -1,0 +1,22 @@
+"""Unit constants.
+
+The simulator's canonical units are **seconds** for time and **bytes per
+second** for bandwidth.  Paper quantities are quoted in Mbps/Kbps and
+KB/MB, so these constants keep conversions explicit and greppable.
+"""
+
+#: One simulated second (time is measured in seconds throughout).
+SECONDS = 1.0
+
+#: One millisecond in seconds.
+MS = 1e-3
+
+#: Bytes in a kibibyte / mebibyte (block and file sizes).
+KiB = 1024
+MiB = 1024 * 1024
+
+#: Bandwidth units, expressed in bytes/second.  Network link rates in the
+#: paper are decimal (1 Mbps = 10^6 bits/s).
+KBPS = 1000 / 8.0
+MBPS = 1000_000 / 8.0
+GBPS = 1000_000_000 / 8.0

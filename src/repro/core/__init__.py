@@ -1,0 +1,37 @@
+"""Bullet' — the paper's primary contribution.
+
+The package splits the protocol into the design-space axes of paper
+section 2, one module per axis, so each strategy is independently
+testable and swappable:
+
+- :mod:`repro.core.request` — block request ordering strategies
+  (first-encountered, random, rarest, rarest-random; section 3.3.2).
+- :mod:`repro.core.flow_control` — the XCP-inspired controller for the
+  per-peer number of outstanding requests (section 3.3.3).
+- :mod:`repro.core.peering` — adaptive sender/receiver set management
+  (``ManageSenders``, 1.5-sigma pruning; section 3.3.1).
+- :mod:`repro.core.diffs` — incremental, self-clocked availability
+  diffs (section 3.3.4).
+- :mod:`repro.core.source` — the source's round-robin, never-duplicate
+  push (section 3.3.5).
+- :mod:`repro.core.bullet_prime` — the node tying everything together.
+- :mod:`repro.core.download` — the generic download application
+  (encoded / unencoded modes, file reconstruction).
+"""
+
+from repro.core.bullet_prime import BulletPrimeConfig, BulletPrimeNode
+from repro.core.download import DownloadState, FileObject
+from repro.core.flow_control import OutstandingController
+from repro.core.peering import PeerSetPolicy
+from repro.core.request import REQUEST_STRATEGIES, AvailabilityView
+
+__all__ = [
+    "BulletPrimeConfig",
+    "BulletPrimeNode",
+    "DownloadState",
+    "FileObject",
+    "OutstandingController",
+    "PeerSetPolicy",
+    "REQUEST_STRATEGIES",
+    "AvailabilityView",
+]

@@ -1,0 +1,687 @@
+"""The Bullet' node (paper section 3).
+
+One :class:`BulletPrimeNode` per overlay participant.  The node composes
+the strategy modules of this package:
+
+- joins the control tree and runs RanSub over it;
+- if it is the source, pushes the file's blocks to its tree children
+  round-robin (:class:`~repro.core.source.SourcePusher`) and advertises
+  itself once the full file has entered the system;
+- otherwise maintains an adaptive set of *senders* it pulls from and
+  *receivers* it serves (:class:`~repro.core.peering.PeerSetPolicy`),
+  orders requests with the configured strategy
+  (:class:`~repro.core.request.AvailabilityView`), sizes the per-sender
+  request pipeline with the XCP-style controller
+  (:class:`~repro.core.flow_control.OutstandingController`), and keeps
+  its receivers informed through incremental self-clocked diffs
+  (:class:`~repro.core.diffs.DiffTracker`).
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.rng import split_rng
+from repro.common.units import KiB
+from repro.core.diffs import DiffTracker, diff_wire_size
+from repro.core.download import DownloadState
+from repro.core.flow_control import OutstandingController
+from repro.core.peering import PeerSetPolicy
+from repro.core.request import AvailabilityView
+from repro.core.source import SourcePusher
+from repro.overlay.node import OverlayProtocol
+from repro.overlay.ransub import NodeSummary, RanSubService
+from repro.sim.transport import Message
+
+__all__ = ["BulletPrimeConfig", "BulletPrimeNode"]
+
+#: Size of a block-request message: block id + reported incoming bw.
+REQUEST_WIRE_BYTES = 24
+#: How many held block ids a RanSub summary samples for usefulness
+#: estimation at candidate-evaluation time.
+SUMMARY_SAMPLE = 24
+
+
+@dataclass
+class BulletPrimeConfig:
+    """Every tunable of the system in one place.
+
+    The paper's stated goal is to *minimize* user-visible knobs: the
+    defaults below are the paper's own constants, and the non-default
+    modes exist to reproduce its ablation experiments (static peer sets,
+    fixed outstanding requests, alternative request strategies).
+    """
+
+    num_blocks: int = 640
+    block_size: int = 16 * KiB
+    encoded: bool = False
+    request_strategy: str = "rarest_random"
+    #: None = exact rarest scan; an int bounds the scan to a uniform
+    #: sample of that many candidates (used at large experiment scale).
+    rarity_sample: int | None = None
+
+    # Peering (section 3.3.1).
+    adaptive_peering: bool = True
+    initial_senders: int = 10
+    initial_receivers: int = 10
+    min_peers: int = 6
+    max_peers: int = 25
+    prune_sigma: float = 1.5
+
+    # Flow control (section 3.3.3).
+    adaptive_outstanding: bool = True
+    fixed_outstanding: int = 3
+    initial_outstanding: int = 3
+    fc_alpha: float = 0.4
+    fc_beta: float = 0.226
+
+    # RanSub / control tree.
+    ransub_epoch: float = 5.0
+    ransub_subset: int = 10
+    tree_fanout: int = 4
+
+    # Source push.
+    source_push_window: int = 2
+
+    seed: int = 0
+
+    def policy_pair(self):
+        """Build (sender policy, receiver policy) from the config."""
+        make = lambda initial: PeerSetPolicy(
+            initial=initial,
+            minimum=min(self.min_peers, initial),
+            maximum=max(self.max_peers, initial),
+            prune_sigma=self.prune_sigma,
+            adaptive=self.adaptive_peering,
+        )
+        return make(self.initial_senders), make(self.initial_receivers)
+
+
+class _SenderState:
+    """Receiver-side bookkeeping for one peer we download from."""
+
+    __slots__ = (
+        "conn",
+        "peer",
+        "controller",
+        "outstanding",
+        "marked_block",
+        "diff_request_pending",
+        "bytes_mark",
+        "epoch_bw",
+        "idle_epochs",
+    )
+
+    def __init__(self, conn, peer, controller):
+        self.conn = conn
+        self.peer = peer
+        self.controller = controller
+        self.outstanding = set()
+        self.marked_block = None
+        self.diff_request_pending = False
+        self.bytes_mark = 0
+        self.epoch_bw = 0.0
+        #: Consecutive epochs this sender delivered nothing and had
+        #: nothing useful on offer (dead-weight detection).
+        self.idle_epochs = 0
+
+
+class _ReceiverState:
+    """Sender-side bookkeeping for one peer we upload to."""
+
+    __slots__ = (
+        "conn",
+        "peer",
+        "tracker",
+        "cursor",
+        "reported_incoming_bw",
+        "bytes_mark",
+        "epoch_bw",
+    )
+
+    def __init__(self, conn, peer):
+        self.conn = conn
+        self.peer = peer
+        self.tracker = DiffTracker()
+        #: Index into the node's arrival_order list: everything before it
+        #: has been considered for diffing to this receiver.
+        self.cursor = 0
+        self.reported_incoming_bw = 0.0
+        self.bytes_mark = 0
+        self.epoch_bw = 0.0
+
+
+class BulletPrimeNode(OverlayProtocol):
+    """One Bullet' participant."""
+
+    def __init__(self, network, node_id, tree, source_id, config, trace=None):
+        super().__init__(network, node_id, trace)
+        self.config = config
+        self.tree = tree
+        self.source_id = source_id
+        self.is_source = node_id == source_id
+        self.rng = split_rng(config.seed, f"bp.{node_id}")
+
+        self.state = DownloadState(config.num_blocks, encoded=config.encoded)
+        #: Blocks in acquisition order (drives incremental diff cursors).
+        self.arrival_order = []
+
+        self.senders = {}  # conn -> _SenderState
+        self.receivers = {}  # conn -> _ReceiverState
+        self.sender_policy, self.receiver_policy = config.policy_pair()
+        self._pending_senders = set()  # peer ids with connects in flight
+        #: Blocks requested from any sender (prevents duplicate requests).
+        self.requested = set()
+
+        self.tree_conns = {}  # neighbor id -> conn
+        self._tree_parent_conn = None
+        self.ransub = RanSubService(
+            self,
+            tree,
+            state_provider=self._summary,
+            on_subset=self._on_subset,
+            epoch_period=config.ransub_epoch,
+            subset_size=config.ransub_subset,
+            seed=config.seed,
+        )
+        self.avail = AvailabilityView(
+            config.request_strategy,
+            split_rng(config.seed, f"bp.req.{node_id}"),
+            rarity_sample=config.rarity_sample,
+        )
+
+        self.pusher = None
+        self.source_advertised = False
+        if self.is_source:
+            self._init_source()
+
+        self._last_epoch_time = 0.0
+        self._epoch_incoming_bw = 0.0
+        self._epoch_outgoing_bw = 0.0
+        self.completed_at = None
+        self.stats = {
+            "duplicate_blocks": 0,
+            "requests_sent": 0,
+            "diffs_sent": 0,
+            "blocks_served": 0,
+            "senders_pruned": 0,
+            "receivers_pruned": 0,
+            "rejected_peers": 0,
+        }
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def _init_source(self):
+        if self.config.encoded:
+            self.pusher = SourcePusher(
+                self.config.block_size,
+                encoded=True,
+                window=self.config.source_push_window,
+                on_block_pushed=self._source_generated,
+            )
+        else:
+            for block in range(self.config.num_blocks):
+                self.state.add(block)
+                self.arrival_order.append(block)
+            self.pusher = SourcePusher(
+                self.config.block_size,
+                block_ids=range(self.config.num_blocks),
+                window=self.config.source_push_window,
+                on_pass_complete=self._source_pass_complete,
+            )
+        if not self.config.encoded:
+            # The source holds the full file but only advertises through
+            # RanSub once the file has entered the system.
+            self.source_advertised = False
+
+    def _source_generated(self, block):
+        # Encoded mode: each generated block becomes servable.
+        if self.state.add(block):
+            self.arrival_order.append(block)
+
+    def _source_pass_complete(self):
+        self.source_advertised = True
+
+    def start(self):
+        if self.trace is not None:
+            self.trace.node_started(self.node_id)
+        self._tree_attach = self.tree.parent_of(self.node_id)
+        if self._tree_attach is not None:
+            self.connect(self._tree_attach, self._tree_parent_connected)
+        if self.node_id == self.tree.root:
+            self.ransub.start_root()
+        if self.is_source and self.state.complete:
+            if self.trace is not None:
+                self.trace.completed(self.node_id)
+            self.completed_at = self.sim.now
+
+    def _tree_parent_connected(self, conn):
+        if conn.closed:
+            # The attach target died during the handshake: climb on.
+            self._repair_tree()
+            return
+        self._tree_parent_conn = conn
+        self.tree_conns[self._tree_attach] = conn
+        self.ransub.parent_conn = conn
+        conn.send(
+            Message("bp_tree_hello", payload={"node": self.node_id}, size=16)
+        )
+
+    def _repair_tree(self):
+        """The tree parent failed: re-attach under the nearest ancestor.
+
+        A failed interior node would otherwise cut its whole subtree off
+        from RanSub (and, near the source, from pushed blocks).  The mesh
+        keeps existing peerings alive regardless — that resilience split
+        is exactly the paper's section-1 argument for meshes — but
+        membership discovery needs the control tree, so we climb the
+        static tree toward the root (the source, which outlives the
+        session) and reconnect there.
+        """
+        if self.stopped:
+            return
+        ancestor = self.tree.parent_of(self._tree_attach)
+        if ancestor is None and self._tree_attach != self.tree.root:
+            ancestor = self.tree.root
+        if ancestor is None:
+            return  # we would be re-attaching to ourselves (we are root)
+        self._tree_attach = ancestor
+        self.connect(ancestor, self._tree_parent_connected)
+
+    # -- connection classification ---------------------------------------------------
+
+    def accepted(self, conn):
+        # The first message (tree hello or peer hello) classifies it.
+        pass
+
+    def on_bp_tree_hello(self, conn, message):
+        child = message.payload["node"]
+        self.tree_conns[child] = conn
+        self.ransub.child_conns[child] = conn
+        if self.is_source:
+            self.pusher.add_child(conn)
+
+    def connection_closed(self, conn):
+        if conn in self.senders:
+            self._drop_sender(conn, initiated=False)
+        elif conn in self.receivers:
+            self.receivers.pop(conn, None)
+        else:
+            for node, tree_conn in list(self.tree_conns.items()):
+                if tree_conn is conn:
+                    self.tree_conns.pop(node)
+                    self.ransub.child_conns.pop(node, None)
+            if conn is self._tree_parent_conn:
+                self._tree_parent_conn = None
+                self.ransub.parent_conn = None
+                self._repair_tree()
+            if self.is_source and self.pusher is not None:
+                self.pusher.remove_child(conn)
+
+    # -- RanSub summaries and peering decisions ---------------------------------------
+
+    def _summary(self):
+        held = len(self.state)
+        if self.is_source and not self.config.encoded and not self.source_advertised:
+            # Stay invisible until the full file entered the system.
+            held = 0
+            sample = ()
+        else:
+            sample = self._sample_held(SUMMARY_SAMPLE)
+        return NodeSummary(
+            node_id=self.node_id,
+            blocks_held=held,
+            sample_blocks=sample,
+            incoming_bw=self._epoch_incoming_bw,
+            epoch=self.ransub.epoch,
+        )
+
+    def _sample_held(self, k):
+        if not self.arrival_order:
+            return ()
+        if len(self.arrival_order) <= k:
+            return tuple(self.arrival_order)
+        return tuple(self.rng.sample(self.arrival_order, k))
+
+    def _on_subset(self, summaries):
+        now = self.sim.now
+        elapsed = max(now - self._last_epoch_time, 1e-9)
+        self._last_epoch_time = now
+        self._measure_bandwidth(elapsed)
+        self._manage_senders(summaries)
+        self._manage_receivers()
+
+    def _measure_bandwidth(self, elapsed):
+        incoming = 0.0
+        for s in self.senders.values():
+            received = s.conn.bytes_received
+            s.epoch_bw = (received - s.bytes_mark) / elapsed
+            s.bytes_mark = received
+            incoming += s.epoch_bw
+        if self._tree_parent_conn is not None and not self._tree_parent_conn.closed:
+            incoming += (
+                self._tree_parent_conn.bytes_received
+                - getattr(self, "_tree_bytes_mark", 0)
+            ) / elapsed
+            self._tree_bytes_mark = self._tree_parent_conn.bytes_received
+        outgoing = 0.0
+        for r in self.receivers.values():
+            sent = r.conn.bytes_sent
+            r.epoch_bw = (sent - r.bytes_mark) / elapsed
+            r.bytes_mark = sent
+            outgoing += r.epoch_bw
+        self._epoch_incoming_bw = incoming
+        self._epoch_outgoing_bw = outgoing
+
+    def _manage_senders(self, summaries):
+        if self.is_source:
+            return  # the source only serves
+        policy = self.sender_policy
+        policy.manage(len(self.senders), self._epoch_incoming_bw)
+
+        # Dead-weight senders: no bytes delivered, nothing outstanding and
+        # nothing useful advertised for two consecutive epochs.  The
+        # 1.5-sigma rule cannot catch these when *every* sender stalls
+        # (stddev ~ 0), so they are dropped unconditionally to free slots.
+        for conn, s in list(self.senders.items()):
+            if s.epoch_bw <= 0 and not s.outstanding and not conn.closed:
+                if self.avail.candidate_count(conn, self._useful) == 0:
+                    s.idle_epochs += 1
+                    if s.idle_epochs >= 2:
+                        self.stats["senders_pruned"] += 1
+                        self._drop_sender(conn, initiated=True)
+                    continue
+            s.idle_epochs = 0
+
+        scores = {conn: s.epoch_bw for conn, s in self.senders.items()}
+        for conn in policy.prune(scores):
+            self.stats["senders_pruned"] += 1
+            self._drop_sender(conn, initiated=True)
+        scores = {conn: s.epoch_bw for conn, s in self.senders.items()}
+        for conn in policy.over_target(scores):
+            self.stats["senders_pruned"] += 1
+            self._drop_sender(conn, initiated=True)
+
+        want = policy.target - len(self.senders) - len(self._pending_senders)
+        if want <= 0 or self.state.complete:
+            return
+        current_peers = {s.peer for s in self.senders.values()}
+        candidates = []
+        for summary in summaries:
+            if summary.node_id == self.node_id:
+                continue
+            if summary.node_id in current_peers or summary.node_id in self._pending_senders:
+                continue
+            usefulness = self._estimate_useful(summary)
+            if usefulness > 0:
+                candidates.append((usefulness, summary.node_id))
+        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+        for _usefulness, peer in candidates[:want]:
+            self._pending_senders.add(peer)
+            self.connect(peer, lambda conn, p=peer: self._sender_connected(conn, p))
+
+    def _estimate_useful(self, summary):
+        """Expected count of blocks this candidate has that we want."""
+        if summary.blocks_held == 0:
+            return 0.0
+        if not summary.sample_blocks:
+            return float(summary.blocks_held)
+        missing = sum(1 for b in summary.sample_blocks if self.state.wants(b))
+        fraction = missing / len(summary.sample_blocks)
+        return summary.blocks_held * fraction
+
+    def _manage_receivers(self):
+        policy = self.receiver_policy
+        policy.manage(len(self.receivers), self._epoch_outgoing_bw)
+        # Rank receivers by how much of *their* bandwidth we provide: a
+        # receiver that depends on us scores high and is kept.
+        scores = {}
+        for conn, r in self.receivers.items():
+            total = max(r.reported_incoming_bw, 1e-9)
+            dependence = min(r.epoch_bw / total, 1.0)
+            scores[conn] = dependence * max(r.epoch_bw, 1e-9)
+        for conn in policy.prune(scores):
+            self.stats["receivers_pruned"] += 1
+            self._drop_receiver(conn)
+        scores = {c: s for c, s in scores.items() if c in self.receivers}
+        for conn in policy.over_target(scores):
+            self.stats["receivers_pruned"] += 1
+            self._drop_receiver(conn)
+
+    def _drop_sender(self, conn, initiated):
+        state = self.senders.pop(conn, None)
+        if state is None:
+            return
+        for block in state.outstanding:
+            self.requested.discard(block)
+        self.avail.remove_sender(conn)
+        if initiated:
+            conn.close()
+        # Other senders may now supply the blocks this one owed us.
+        for other in list(self.senders):
+            self._pump_sender(other)
+
+    def _drop_receiver(self, conn):
+        if self.receivers.pop(conn, None) is not None:
+            conn.close()
+
+    # -- sender side of a peering (we serve) ---------------------------------------
+
+    def on_bp_hello(self, conn, message):
+        if len(self.receivers) >= self.receiver_policy.maximum:
+            # Over the hard receiver cap: refuse.  The *requester* closes
+            # on receipt so the reject is never lost in a torn-down queue.
+            self.stats["rejected_peers"] += 1
+            conn.send(Message("bp_reject", size=16))
+            return
+        peer = message.payload["node"]
+        receiver = _ReceiverState(conn, peer)
+        receiver.tracker.observe_receiver_has(message.payload["have"])
+        self.receivers[conn] = receiver
+        self._send_diff(receiver)
+
+    def on_bp_request(self, conn, message):
+        receiver = self.receivers.get(conn)
+        if receiver is None:
+            return
+        block = message.payload["block"]
+        receiver.reported_incoming_bw = message.payload["incoming_bw"]
+        receiver.tracker.told.add(block)
+        if block not in self.state:
+            return  # stale availability (cannot happen with honest diffs)
+        self.stats["blocks_served"] += 1
+        conn.send(
+            Message(
+                "bp_block",
+                payload={"block": block, "pushed": False},
+                size=self.config.block_size,
+                is_block=True,
+            )
+        )
+
+    def on_bp_diff_request(self, conn, _message):
+        receiver = self.receivers.get(conn)
+        if receiver is None:
+            return
+        receiver.tracker.pending_request = True
+        self._send_diff(receiver)
+
+    def _send_diff(self, receiver):
+        fresh = receiver.tracker.next_diff(
+            self.arrival_order[receiver.cursor :]
+        )
+        receiver.cursor = len(self.arrival_order)
+        if not fresh:
+            # Nothing new to report: keep any explicit ask pending so the
+            # next ingested block answers it immediately.
+            return
+        receiver.tracker.pending_request = False
+        self.stats["diffs_sent"] += 1
+        receiver.conn.send(
+            Message(
+                "bp_diff",
+                payload={"blocks": fresh},
+                size=diff_wire_size(len(fresh)),
+            )
+        )
+
+    # -- receiver side of a peering (we pull) ---------------------------------------
+
+    def _sender_connected(self, conn, peer):
+        self._pending_senders.discard(peer)
+        if self.state.complete or conn.closed:
+            conn.close()
+            return
+        controller = OutstandingController(
+            self.config.block_size,
+            initial=(
+                self.config.initial_outstanding
+                if self.config.adaptive_outstanding
+                else self.config.fixed_outstanding
+            ),
+            alpha=self.config.fc_alpha,
+            beta=self.config.fc_beta,
+        )
+        state = _SenderState(conn, peer, controller)
+        state.bytes_mark = conn.bytes_received
+        self.senders[conn] = state
+        self.avail.add_sender(conn)
+        have = self.arrival_order if not self.config.encoded else list(self.state.blocks())
+        conn.send(
+            Message(
+                "bp_hello",
+                payload={"node": self.node_id, "have": list(have)},
+                size=16 + max(len(have) // 2, self.config.num_blocks // 8),
+            )
+        )
+
+    def on_bp_reject(self, conn, _message):
+        if conn in self.senders:
+            self._drop_sender(conn, initiated=True)
+
+    def on_bp_diff(self, conn, message):
+        sender = self.senders.get(conn)
+        if sender is None:
+            return
+        sender.diff_request_pending = False
+        self.avail.learn(conn, message.payload["blocks"])
+        self._pump_sender(conn)
+
+    def on_bp_block(self, conn, message):
+        block = message.payload["block"]
+        pushed = message.payload.get("pushed", False)
+        sender = self.senders.get(conn)
+        if sender is not None and not pushed:
+            sender.outstanding.discard(block)
+            self.requested.discard(block)
+            sender.controller.observe_arrival(
+                self.sim.now, message.size
+            )
+            marked = sender.marked_block == block
+            if marked:
+                sender.marked_block = None
+            if self.config.adaptive_outstanding:
+                changed = sender.controller.block_arrived(
+                    requested=len(sender.outstanding) + 1,
+                    in_front=message.in_front,
+                    wasted=message.wasted,
+                    marked=marked,
+                )
+                if changed:
+                    # Observe the effect before adjusting again: mark an
+                    # in-flight block if one exists (a decrease makes no
+                    # new request), otherwise mark the next request.
+                    if sender.outstanding:
+                        sender.marked_block = next(iter(sender.outstanding))
+                    else:
+                        sender.marked_block = "next"
+            self.avail.learn(conn, (block,))
+        self._ingest_block(block)
+        if sender is not None:
+            self._pump_sender(conn)
+
+    def _ingest_block(self, block):
+        fresh = self.state.add(block)
+        if not fresh:
+            self.stats["duplicate_blocks"] += 1
+            if self.trace is not None:
+                self.trace.block_received(self.node_id, block, duplicate=True)
+            return
+        self.arrival_order.append(block)
+        if self.trace is not None:
+            self.trace.block_received(self.node_id, block)
+        # Self-clocked diffs: receivers with an idle request pipeline (or
+        # an explicit ask outstanding) hear about new availability now.
+        for receiver in list(self.receivers.values()):
+            if receiver.conn.closed:
+                continue
+            if receiver.conn.send_queue_blocks == 0 or receiver.tracker.pending_request:
+                self._send_diff(receiver)
+        if self.state.complete and self.completed_at is None:
+            self.completed_at = self.sim.now
+            if self.trace is not None:
+                self.trace.completed(self.node_id)
+            self._download_finished()
+
+    def _download_finished(self):
+        # Stop pulling; keep serving (nodes cooperate after completion).
+        for conn in list(self.senders):
+            self._drop_sender(conn, initiated=True)
+        self._pending_senders.clear()
+
+    def _useful(self, block):
+        return self.state.wants(block) and block not in self.requested
+
+    def _pump_sender(self, conn):
+        sender = self.senders.get(conn)
+        if sender is None or conn.closed or self.state.complete:
+            return
+        limit = (
+            sender.controller.limit
+            if self.config.adaptive_outstanding
+            else self.config.fixed_outstanding
+        )
+        while len(sender.outstanding) < limit:
+            block = self.avail.pick(conn, self._useful)
+            if block is None:
+                self._maybe_request_diff(sender)
+                return
+            sender.outstanding.add(block)
+            self.requested.add(block)
+            if sender.marked_block == "next":
+                sender.marked_block = block
+            self.stats["requests_sent"] += 1
+            conn.send(
+                Message(
+                    "bp_request",
+                    payload={
+                        "block": block,
+                        "incoming_bw": self._epoch_incoming_bw,
+                    },
+                    size=REQUEST_WIRE_BYTES,
+                )
+            )
+        # Prefetch availability: ask for a diff when we are *about to*
+        # run out of known-useful blocks from this sender (paper
+        # section 3.3.4), hiding the diff round trip instead of idling
+        # the pipe when the candidate list empties.
+        if self.avail.candidate_count(conn, self._useful) <= limit:
+            self._maybe_request_diff(sender)
+
+    def _maybe_request_diff(self, sender):
+        if sender.diff_request_pending or sender.conn.closed:
+            return
+        sender.diff_request_pending = True
+        sender.conn.send(Message("bp_diff_request", size=16))
+
+    # -- introspection ----------------------------------------------------------------
+
+    @property
+    def progress(self):
+        return len(self.state) / self.state.required
+
+    def __repr__(self):
+        return (
+            f"BulletPrimeNode({self.node_id}, src={self.is_source}, "
+            f"have={len(self.state)}/{self.state.required}, "
+            f"senders={len(self.senders)}, receivers={len(self.receivers)})"
+        )

@@ -1,0 +1,137 @@
+"""Per-peer outstanding-request control (paper section 3.3.3, Figure 3).
+
+Bullet' dynamically sizes the number of blocks it is willing to have
+outstanding from each sender, steering toward *exactly one block queued
+in front of the sender's socket buffer*.  The controller adapts XCP's
+efficiency controller: with each block, the sender reports
+
+- ``in_front`` — how many blocks were queued ahead of the socket buffer
+  when the request arrived, and
+- ``wasted`` — negative idle time (the pipe sat empty) or positive
+  service time (the block waited in the sender's queue),
+
+and the receiver updates its desired outstanding count::
+
+    desired = requested + 1
+    if wasted <= 0 or in_front <= 1:
+        desired -= alpha * wasted * bandwidth / block_size
+    if wasted <= 0 and in_front > 1:
+        desired -= beta * (in_front - 1)
+
+with the XCP-stable constants alpha = 0.4, beta = 0.226.  Two systems
+details from the paper are preserved: increases are *ceilinged* (just
+matching the request rate to the send rate would never saturate the TCP
+pipe), and after each adjustment one in-flight block is marked and no
+further adjustment happens until it arrives, so the loop observes the
+effect of its last action before acting again.
+"""
+
+import math
+
+__all__ = ["OutstandingController"]
+
+#: XCP efficiency-controller gains; stable for any bandwidth/delay.
+ALPHA = 0.4
+BETA = 0.226
+
+#: Initial per-peer pipeline: one block arriving, one in flight, one
+#: request reaching the sender (paper section 3.3.3).
+INITIAL_OUTSTANDING = 3
+
+
+class OutstandingController:
+    """Desired-outstanding tracker for one sender."""
+
+    __slots__ = (
+        "block_size",
+        "alpha",
+        "beta",
+        "min_outstanding",
+        "max_outstanding",
+        "desired",
+        "_marked_waiting",
+        "bandwidth",
+        "_ewma_weight",
+        "_last_arrival",
+    )
+
+    def __init__(
+        self,
+        block_size,
+        initial=INITIAL_OUTSTANDING,
+        alpha=ALPHA,
+        beta=BETA,
+        min_outstanding=1,
+        max_outstanding=100,
+    ):
+        if block_size <= 0:
+            raise ValueError(f"block_size must be > 0, got {block_size}")
+        self.block_size = block_size
+        self.alpha = alpha
+        self.beta = beta
+        self.min_outstanding = min_outstanding
+        self.max_outstanding = max_outstanding
+        self.desired = float(initial)
+        #: While True, adjustments are suppressed until the marked block
+        #: arrives (hysteresis).
+        self._marked_waiting = False
+        #: EWMA of the per-sender receive rate in bytes/second.
+        self.bandwidth = 0.0
+        self._ewma_weight = 0.3
+        self._last_arrival = None
+
+    @property
+    def limit(self):
+        """Current integer outstanding-request limit."""
+        return max(self.min_outstanding, int(math.ceil(self.desired)))
+
+    def observe_arrival(self, now, nbytes):
+        """Update the bandwidth estimate with one block arrival."""
+        if self._last_arrival is not None:
+            gap = now - self._last_arrival
+            if gap > 0:
+                rate = nbytes / gap
+                if self.bandwidth == 0.0:
+                    self.bandwidth = rate
+                else:
+                    w = self._ewma_weight
+                    self.bandwidth = w * rate + (1 - w) * self.bandwidth
+        self._last_arrival = now
+
+    def block_arrived(self, requested, in_front, wasted, marked):
+        """Run one controller step (Figure 3).
+
+        Parameters
+        ----------
+        requested:
+            Number of blocks currently outstanding to this sender
+            (including the one that just arrived).
+        in_front, wasted:
+            The sender's measurements carried on the block.
+        marked:
+            True if this is the marked block the controller was waiting
+            for; until it arrives, no adjustment is made.
+
+        Returns True if ``desired`` changed (the caller should mark the
+        next requested block).
+        """
+        if self._marked_waiting and not marked:
+            return False
+        self._marked_waiting = False
+
+        desired = requested + 1.0
+        if wasted <= 0 or in_front <= 1:
+            desired -= self.alpha * wasted * self.bandwidth / self.block_size
+        if wasted <= 0 and in_front > 1:
+            desired -= self.beta * (in_front - 1)
+
+        desired = min(max(desired, self.min_outstanding), self.max_outstanding)
+        if desired > self.desired:
+            # Ceiling on increase: matching rates XCP-style would never
+            # saturate the TCP connection (paper section 3.3.3).
+            desired = math.ceil(desired)
+        changed = abs(desired - self.desired) > 1e-9
+        self.desired = desired
+        if changed:
+            self._marked_waiting = True
+        return changed

@@ -1,0 +1,135 @@
+"""Adaptive peer-set management (paper section 3.3.1, Figure 2).
+
+Each node tracks how many senders and receivers it *wants*
+(``MAX_SENDERS`` / ``MAX_RECEIVERS``, both starting at 10 and clamped to
+[6, 25]).  On every RanSub distribute epoch it:
+
+1. Runs ``ManageSenders``: a hill-climbing step that compares the
+   incoming bandwidth now against the previous epoch and decides whether
+   the last peer-count change helped (Figure 2's pseudocode, reproduced
+   in :meth:`PeerSetPolicy.manage`).
+2. Prunes senders whose per-epoch bandwidth sits more than 1.5 standard
+   deviations below the mean, never dropping below the minimum — keeping
+   "only the peers who are most useful" without penalizing uniformly
+   slow networks.
+
+The identical machinery manages receivers using outgoing bandwidth, with
+one twist: receivers are ranked by the *fraction of their total incoming
+bandwidth they get from us*, so we avoid cutting off a peer that depends
+on us even if the absolute rate is low.
+"""
+
+from repro.common.stats import mean_stddev
+
+__all__ = ["PeerSetPolicy"]
+
+#: Paper constants.
+INITIAL_PEERS = 10
+MIN_PEERS = 6
+MAX_PEERS = 25
+PRUNE_SIGMA = 1.5
+
+
+class PeerSetPolicy:
+    """The adaptive sizing + pruning policy for one peer set.
+
+    One instance manages senders (fed incoming bandwidth) and another
+    manages receivers (fed outgoing bandwidth).  The policy is pure
+    bookkeeping — the node wires its decisions to actual connects and
+    disconnects — which keeps it unit-testable.
+    """
+
+    def __init__(
+        self,
+        initial=INITIAL_PEERS,
+        minimum=MIN_PEERS,
+        maximum=MAX_PEERS,
+        prune_sigma=PRUNE_SIGMA,
+        adaptive=True,
+    ):
+        if not minimum <= initial <= maximum:
+            raise ValueError(
+                f"need minimum <= initial <= maximum, got "
+                f"{minimum}/{initial}/{maximum}"
+            )
+        self.target = initial
+        self.minimum = minimum
+        self.maximum = maximum
+        self.prune_sigma = prune_sigma
+        #: When False the policy is frozen at ``initial`` peers and never
+        #: prunes — the static configurations of Figures 7-9.
+        self.adaptive = adaptive
+        self._prev_count = None
+        self._prev_bandwidth = None
+
+    def manage(self, current_count, bandwidth):
+        """One ``ManageSenders`` epoch step (Figure 2).
+
+        ``current_count`` is the live peer count; ``bandwidth`` the
+        bandwidth observed since the previous epoch.  Mutates
+        :attr:`target` and records state for the next epoch.
+        """
+        if not self.adaptive:
+            self._remember(current_count, bandwidth)
+            return self.target
+
+        if current_count != self.target:
+            # Not yet at target (connects still in flight): wait.
+            self._remember(current_count, bandwidth)
+            return self.target
+
+        prev_count = self._prev_count
+        prev_bw = self._prev_bandwidth
+        if prev_count is None or prev_count == 0:
+            # No history: try out a new peer by default.
+            self.target += 1
+        elif current_count > prev_count:
+            if bandwidth > prev_bw:
+                self.target += 1  # adding helped; try another
+            else:
+                self.target -= 1  # adding was bad
+        elif current_count < prev_count:
+            if bandwidth > prev_bw:
+                self.target -= 1  # losing a peer made us faster
+            else:
+                self.target += 1  # losing a peer was bad
+        # current_count == prev_count: steady; leave the target alone.
+
+        self.target = min(max(self.target, self.minimum), self.maximum)
+        self._remember(current_count, bandwidth)
+        return self.target
+
+    def _remember(self, count, bandwidth):
+        self._prev_count = count
+        self._prev_bandwidth = bandwidth
+
+    def prune(self, scores):
+        """Select peers to drop: score more than ``prune_sigma`` standard
+        deviations below the mean score.
+
+        ``scores`` maps peer key -> score (bandwidth for senders;
+        dependence-weighted bandwidth fraction for receivers).  Never
+        shrinks the set below ``minimum``; when every peer performs
+        comparably (stddev ~ 0) nothing is closed.  Returns the list of
+        keys to drop, worst first.
+        """
+        if not self.adaptive or len(scores) <= self.minimum:
+            return []
+        mean, stddev = mean_stddev(scores.values())
+        if stddev <= 1e-12:
+            return []
+        threshold = mean - self.prune_sigma * stddev
+        doomed = sorted(
+            (key for key, score in scores.items() if score < threshold),
+            key=lambda key: scores[key],
+        )
+        allowed = len(scores) - self.minimum
+        return doomed[:allowed]
+
+    def over_target(self, scores):
+        """Keys of the slowest peers beyond the current target size."""
+        excess = len(scores) - self.target
+        if excess <= 0:
+            return []
+        ranked = sorted(scores, key=lambda key: scores[key])
+        return ranked[:excess]

@@ -1,0 +1,172 @@
+"""Request strategies (paper section 3.3.2).
+
+A receiver keeps, per sender, the set of blocks it knows that sender can
+provide.  When it has request budget for a sender, the configured
+strategy picks which of the *useful* blocks (known-available, not held,
+not already requested anywhere) to ask for next:
+
+- ``first`` — first-encountered: request in discovery order.  Baseline;
+  produces lockstep progress and poor diversity.
+- ``random`` — uniform over useful blocks.
+- ``rarest`` — fewest advertising senders first, deterministic
+  tie-break.
+- ``rarest_random`` — fewest advertising senders, ties broken uniformly
+  at random.  Bullet's default.
+
+:class:`AvailabilityView` maintains the shared bookkeeping (per-sender
+discovery-ordered candidate lists plus a global rarity census across
+senders) and lets each strategy pick in amortized O(candidates).
+"""
+
+__all__ = ["AvailabilityView", "REQUEST_STRATEGIES"]
+
+
+class _SenderAvailability:
+    """Blocks one sender is known to have, in discovery order."""
+
+    __slots__ = ("order", "known")
+
+    def __init__(self):
+        #: Discovery-ordered candidate list; stale entries (already held
+        #: or requested) are dropped lazily during selection.
+        self.order = []
+        #: Everything this sender ever advertised (for rarity accounting
+        #: and duplicate-diff suppression).
+        self.known = set()
+
+
+class AvailabilityView:
+    """A receiver's knowledge of which peers can supply which blocks."""
+
+    def __init__(self, strategy, rng, rarity_sample=None):
+        if strategy not in REQUEST_STRATEGIES:
+            raise ValueError(
+                f"unknown request strategy {strategy!r}; "
+                f"choose from {sorted(REQUEST_STRATEGIES)}"
+            )
+        self.strategy = strategy
+        self.rng = rng
+        #: Optional cap on how many candidates a rarest scan examines
+        #: (uniform sample).  ``None`` means exact scan; large-scale
+        #: experiments may set e.g. 64 to bound per-request work.
+        self.rarity_sample = rarity_sample
+        self._senders = {}
+        #: block id -> number of senders advertising it (rarity census).
+        self.rarity = {}
+
+    # -- bookkeeping -------------------------------------------------------------
+
+    def add_sender(self, sender_key):
+        if sender_key in self._senders:
+            raise KeyError(f"sender {sender_key!r} already tracked")
+        self._senders[sender_key] = _SenderAvailability()
+
+    def remove_sender(self, sender_key):
+        availability = self._senders.pop(sender_key)
+        for block in availability.known:
+            count = self.rarity.get(block, 0) - 1
+            if count <= 0:
+                self.rarity.pop(block, None)
+            else:
+                self.rarity[block] = count
+        return availability.known
+
+    def senders(self):
+        return list(self._senders)
+
+    def learn(self, sender_key, blocks):
+        """Record a diff: ``sender_key`` now also has ``blocks``."""
+        availability = self._senders[sender_key]
+        for block in blocks:
+            if block in availability.known:
+                continue
+            availability.known.add(block)
+            availability.order.append(block)
+            self.rarity[block] = self.rarity.get(block, 0) + 1
+
+    def known_of(self, sender_key):
+        return self._senders[sender_key].known
+
+    def candidate_count(self, sender_key, useful):
+        """Number of useful blocks available from this sender.
+
+        ``useful(block)`` says whether the receiver still wants a block.
+        Compacts the candidate list as a side effect.
+        """
+        availability = self._senders[sender_key]
+        availability.order = [b for b in availability.order if useful(b)]
+        return len(availability.order)
+
+    # -- selection ----------------------------------------------------------------
+
+    def pick(self, sender_key, useful):
+        """Choose the next block to request from ``sender_key``.
+
+        ``useful(block)`` must return True for blocks still worth
+        requesting.  Returns a block id or ``None`` when the sender has
+        nothing useful.  Consumed and stale entries are removed from the
+        candidate list.
+        """
+        order = self._senders[sender_key].order
+        if self.strategy == "first":
+            return self._pick_first(order, useful)
+        if self.strategy == "random":
+            return self._pick_random(order, useful)
+        return self._pick_rarest(
+            order, useful, randomize=(self.strategy == "rarest_random")
+        )
+
+    def _pick_first(self, order, useful):
+        while order:
+            block = order[0]
+            if useful(block):
+                order.pop(0)
+                return block
+            order.pop(0)
+        return None
+
+    def _pick_random(self, order, useful):
+        while order:
+            index = self.rng.randrange(len(order))
+            block = order[index]
+            # Swap-pop: O(1) removal, order no longer matters for this
+            # strategy.
+            order[index] = order[-1]
+            order.pop()
+            if useful(block):
+                return block
+        return None
+
+    def _pick_rarest(self, order, useful, randomize):
+        # Compact stale entries in place while scanning for the minimum
+        # rarity; optionally examine only a bounded random sample.
+        valid = []
+        best_rarity = None
+        scan = order
+        if self.rarity_sample is not None and len(order) > self.rarity_sample:
+            scan = self.rng.sample(order, self.rarity_sample)
+            scan_set = set(scan)
+            # Keep unscanned entries; they stay candidates for next time.
+            valid = [b for b in order if b not in scan_set and useful(b)]
+        for block in scan:
+            if not useful(block):
+                continue
+            valid.append(block)
+            rarity = self.rarity.get(block, 0)
+            if best_rarity is None or rarity < best_rarity:
+                best_rarity = rarity
+        if best_rarity is None:
+            order.clear()
+            return None
+        ties = [b for b in valid if self.rarity.get(b, 0) == best_rarity]
+        if randomize:
+            chosen = ties[self.rng.randrange(len(ties))]
+        else:
+            chosen = ties[0]
+        valid.remove(chosen)
+        order[:] = valid
+        return chosen
+
+
+#: The strategies a Bullet' node can be configured with.
+REQUEST_STRATEGIES = ("first", "random", "rarest", "rarest_random")

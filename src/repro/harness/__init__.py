@@ -1,0 +1,13 @@
+"""Experiment harness.
+
+- :mod:`repro.harness.experiment` — generic runner: topology + system +
+  optional dynamic scenario -> completion-time CDF and traces.
+- :mod:`repro.harness.workloads` — file and delta workload generators.
+- :mod:`repro.harness.figures` — one entry point per paper figure.
+- :mod:`repro.harness.report` — text rendering of figure data.
+"""
+
+from repro.harness.experiment import ExperimentResult, run_experiment
+from repro.harness.figures import FIGURES, run_figure
+
+__all__ = ["ExperimentResult", "run_experiment", "FIGURES", "run_figure"]

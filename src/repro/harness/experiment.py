@@ -1,0 +1,134 @@
+"""Generic experiment runner.
+
+An experiment is: a topology, a dissemination system (a factory that
+builds one protocol node per participant), an optional dynamic-network
+scenario, and a stop condition (all receivers complete, or a time
+limit).  The runner wires them to a fresh simulator and returns an
+:class:`ExperimentResult` with the completion-time CDF and raw traces.
+"""
+
+from repro.common.rng import split_rng
+from repro.overlay.tree import build_random_tree
+from repro.sim.engine import Simulator
+from repro.sim.tcp import FlowNetwork
+from repro.sim.trace import TraceCollector
+from repro.sim.transport import Network
+
+__all__ = ["ExperimentResult", "run_experiment"]
+
+
+class ExperimentResult:
+    """Everything a figure needs from one run."""
+
+    def __init__(self, trace, nodes, sim, finished):
+        self.trace = trace
+        self.nodes = nodes
+        self.sim = sim
+        #: True when every receiver completed before the time limit.
+        self.finished = finished
+
+    def completion_cdf(self):
+        return self.trace.completion_cdf()
+
+    @property
+    def receiver_completion_times(self):
+        """Completion times of non-source nodes, as a sorted list."""
+        source = getattr(self, "source_id", None)
+        return sorted(
+            t
+            for node, t in self.trace.completion_times.items()
+            if node != source
+        )
+
+    def summary(self):
+        cdf = self.completion_cdf()
+        return {
+            "nodes": len(self.trace.completion_times),
+            "median": cdf.median,
+            "p90": cdf.percentile(0.9),
+            "worst": cdf.maximum,
+            "finished": self.finished,
+            "duplicates": self.trace.total_duplicates(),
+            "control_bytes": self.trace.total_control_bytes(),
+        }
+
+
+def run_experiment(
+    topology,
+    node_factory,
+    num_blocks,
+    source_id=0,
+    scenario=None,
+    max_time=3600.0,
+    tree_fanout=4,
+    seed=0,
+    check_period=1.0,
+    failure_schedule=(),
+):
+    """Run one dissemination to completion.
+
+    Parameters
+    ----------
+    topology:
+        A :class:`repro.sim.topology.Topology`.
+    node_factory:
+        Called as ``node_factory(network, tree, source_id, trace)`` and
+        must return ``{node_id: protocol}`` with ``start()`` methods.
+    num_blocks:
+        File size in blocks (drives the trace collector).
+    scenario:
+        Optional ``scenario(sim, topology)`` installer for dynamic
+        network conditions (see :mod:`repro.sim.scenario`).
+    max_time:
+        Simulated-seconds cap; the run stops early once every surviving
+        non-source node has completed.
+    failure_schedule:
+        Optional ``[(time, node_id), ...]``: at each time the node is
+        stopped (its connections close, its timers die) — the paper's
+        section-1 churn/reliability scenario.  Failed nodes are excluded
+        from the completion condition unless they finished earlier.
+    """
+    sim = Simulator()
+    flows = FlowNetwork(sim)
+    network = Network(
+        sim, topology, flows, rng=split_rng(seed, "net.message_jitter")
+    )
+    trace = TraceCollector(sim, num_blocks)
+    tree = build_random_tree(
+        topology.nodes, root=source_id, fanout=tree_fanout, seed=seed
+    )
+    nodes = node_factory(network, tree, source_id, trace)
+    if scenario is not None:
+        scenario(sim, topology)
+    for node in nodes.values():
+        node.start()
+
+    failed = set()
+    for fail_time, node_id in failure_schedule:
+        if node_id == source_id:
+            raise ValueError("the source cannot be failed (it is the data)")
+
+        def kill(node_id=node_id):
+            failed.add(node_id)
+            nodes[node_id].stop()
+
+        sim.schedule_at(fail_time, kill)
+
+    receivers = [n for n in topology.nodes if n != source_id]
+
+    def survivors():
+        return [r for r in receivers if r not in failed]
+
+    def check_done():
+        if all(r in trace.completion_times for r in survivors()):
+            sim.stop()
+            return False
+        return True
+
+    sim.schedule_periodic(check_period, check_done)
+    sim.run(until=max_time)
+    finished = all(r in trace.completion_times for r in survivors())
+    result = ExperimentResult(trace, nodes, sim, finished)
+    result.source_id = source_id
+    result.failed_nodes = failed
+    return result

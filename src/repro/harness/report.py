@@ -1,0 +1,90 @@
+"""Figure data containers and text rendering.
+
+Every evaluation figure in the paper is either a CDF of download times
+(Figures 4-12, 14, 15) or a series (Figure 13).  :class:`FigureData`
+holds the raw series plus metadata and renders the same rows the paper
+reports: percentiles per configuration and pairwise speedups against the
+reference series.
+"""
+
+from repro.common.stats import Cdf
+
+__all__ = ["FigureData"]
+
+_PERCENTILES = (0.10, 0.25, 0.50, 0.75, 0.90, 1.00)
+
+
+class FigureData:
+    """One reproduced figure: named series of per-node completion times."""
+
+    def __init__(self, figure_id, title, reference=None, notes=()):
+        self.figure_id = figure_id
+        self.title = title
+        #: Label of the series others are compared against (usually
+        #: Bullet' or the dynamic configuration).
+        self.reference = reference
+        self.notes = list(notes)
+        self.series = {}
+        self.scalars = {}
+
+    def add_series(self, label, samples):
+        samples = sorted(samples)
+        if not samples:
+            raise ValueError(f"series {label!r} has no samples")
+        self.series[label] = samples
+
+    def add_scalar(self, label, value):
+        """Attach a named scalar (e.g. Figure 13's overage seconds)."""
+        self.scalars[label] = value
+
+    def cdf(self, label):
+        return Cdf(self.series[label])
+
+    def median_speedup(self, label, against=None):
+        """How much faster ``against`` (default: reference) is at the
+        median, as a fraction: 0.25 means 25% faster."""
+        against = against or self.reference
+        ref = Cdf(self.series[against]).median
+        other = Cdf(self.series[label]).median
+        if other <= 0:
+            return 0.0
+        return (other - ref) / other
+
+    def worst_speedup(self, label, against=None):
+        against = against or self.reference
+        ref = Cdf(self.series[against]).maximum
+        other = Cdf(self.series[label]).maximum
+        if other <= 0:
+            return 0.0
+        return (other - ref) / other
+
+    def render(self):
+        """Text table in the spirit of the paper's CDF figures."""
+        lines = [f"== {self.figure_id}: {self.title} =="]
+        header = "series".ljust(34) + "".join(
+            f"p{int(p * 100):<3d}".rjust(9) for p in _PERCENTILES
+        )
+        lines.append(header)
+        for label, samples in self.series.items():
+            cdf = Cdf(samples)
+            row = label.ljust(34) + "".join(
+                f"{cdf.percentile(p):9.1f}" for p in _PERCENTILES
+            )
+            lines.append(row)
+        if self.reference and self.reference in self.series:
+            lines.append(f"-- speedups of {self.reference} --")
+            for label in self.series:
+                if label == self.reference:
+                    continue
+                lines.append(
+                    f"vs {label:30s} median {self.median_speedup(label) * 100:6.1f}%"
+                    f"   worst-node {self.worst_speedup(label) * 100:6.1f}%"
+                )
+        for label, value in self.scalars.items():
+            lines.append(f"{label}: {value:.2f}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"FigureData({self.figure_id!r}, series={list(self.series)})"

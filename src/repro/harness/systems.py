@@ -1,0 +1,97 @@
+"""Uniform factories for every dissemination system under test.
+
+Each factory returns a ``node_factory`` suitable for
+:func:`repro.harness.experiment.run_experiment`, hiding the per-system
+construction details (trackers, stripe forests, control trees).
+"""
+
+from repro.baselines.bittorrent import BitTorrentConfig, BitTorrentNode, Tracker
+from repro.baselines.bullet import BulletConfig, BulletNode
+from repro.baselines.splitstream import (
+    SplitStreamConfig,
+    SplitStreamNode,
+    build_stripe_forest,
+)
+from repro.core.bullet_prime import BulletPrimeConfig, BulletPrimeNode
+
+__all__ = [
+    "bullet_prime_factory",
+    "bullet_factory",
+    "bittorrent_factory",
+    "splitstream_factory",
+    "SYSTEM_FACTORIES",
+]
+
+
+def bullet_prime_factory(config=None, **overrides):
+    """Bullet' node factory; ``overrides`` patch the default config."""
+    if config is None:
+        config = BulletPrimeConfig(**overrides)
+
+    def factory(network, tree, source_id, trace):
+        return {
+            node: BulletPrimeNode(network, node, tree, source_id, config, trace)
+            for node in network.topology.nodes
+        }
+
+    return factory
+
+
+def bullet_factory(config=None, **overrides):
+    """Original-Bullet node factory."""
+    if config is None:
+        config = BulletConfig(**overrides)
+
+    def factory(network, tree, source_id, trace):
+        return {
+            node: BulletNode(network, node, tree, source_id, config, trace)
+            for node in network.topology.nodes
+        }
+
+    return factory
+
+
+def bittorrent_factory(config=None, **overrides):
+    """BitTorrent node factory (creates the shared tracker)."""
+    if config is None:
+        config = BitTorrentConfig(**overrides)
+
+    def factory(network, _tree, source_id, trace):
+        tracker = Tracker(seed=config.seed)
+        return {
+            node: BitTorrentNode(network, node, tracker, source_id, config, trace)
+            for node in network.topology.nodes
+        }
+
+    return factory
+
+
+def splitstream_factory(config=None, **overrides):
+    """SplitStream node factory (builds the stripe forest)."""
+    if config is None:
+        config = SplitStreamConfig(**overrides)
+
+    def factory(network, _tree, source_id, trace):
+        forest = build_stripe_forest(
+            network.topology.nodes,
+            source_id,
+            config.num_stripes,
+            config.max_fanout,
+            seed=config.seed,
+        )
+        return {
+            node: SplitStreamNode(network, node, forest, source_id, config, trace)
+            for node in network.topology.nodes
+        }
+
+    return factory
+
+
+#: Name -> (factory builder, config class); the comparison figures
+#: iterate over this.
+SYSTEM_FACTORIES = {
+    "bullet_prime": (bullet_prime_factory, BulletPrimeConfig),
+    "bullet": (bullet_factory, BulletConfig),
+    "bittorrent": (bittorrent_factory, BitTorrentConfig),
+    "splitstream": (splitstream_factory, SplitStreamConfig),
+}

@@ -1,0 +1,21 @@
+"""Overlay substrates: the control tree and RanSub.
+
+Bullet' joins nodes into a random overlay *control tree* used for three
+things (paper Figure 1): control traffic, RanSub's periodic
+collect/distribute sweeps, and the source's block push to its children.
+RanSub delivers each node a changing, uniformly random subset of all
+participants together with per-node application state (file summaries),
+which is the information Bullet' peering decisions run on.
+"""
+
+from repro.overlay.tree import ControlTree, build_random_tree
+from repro.overlay.ransub import NodeSummary, RanSubService
+from repro.overlay.node import OverlayProtocol
+
+__all__ = [
+    "ControlTree",
+    "build_random_tree",
+    "NodeSummary",
+    "RanSubService",
+    "OverlayProtocol",
+]

@@ -1,0 +1,111 @@
+"""Protocol base class.
+
+:class:`OverlayProtocol` plays the role MACEDON played for the paper's
+implementation: it wires one node's protocol logic to the simulator —
+message dispatch by ``kind``, timers, connection management — so the
+protocol modules contain only algorithm code.
+"""
+
+__all__ = ["OverlayProtocol"]
+
+
+class OverlayProtocol:
+    """One node's protocol instance.
+
+    Subclasses register message handlers with :meth:`handler` (or by
+    defining ``on_<kind>`` methods) and use :meth:`connect`,
+    :meth:`schedule` and :meth:`periodic` for I/O and timers.
+    """
+
+    def __init__(self, network, node_id, trace=None):
+        self.network = network
+        self.sim = network.sim
+        self.node_id = node_id
+        self.endpoint = network.endpoint(node_id)
+        self.endpoint.on_accept = self._accepted
+        self.trace = trace
+        self._handlers = {}
+        self._timers = []
+        self.stopped = False
+
+    # -- wiring ----------------------------------------------------------------
+
+    def handler(self, kind, fn):
+        self._handlers[kind] = fn
+
+    def _dispatch(self, conn, message):
+        if self.stopped:
+            return
+        fn = self._handlers.get(message.kind)
+        if fn is None:
+            fn = getattr(self, f"on_{message.kind}", None)
+        if fn is None:
+            raise KeyError(
+                f"{type(self).__name__} node {self.node_id}: "
+                f"no handler for message kind {message.kind!r}"
+            )
+        fn(conn, message)
+
+    def _accepted(self, conn):
+        if self.stopped:
+            conn.close()  # a failed node accepts nothing
+            return
+        conn.on_message = self._dispatch
+        conn.on_close = self._closed
+        self.accepted(conn)
+
+    # -- overridables ------------------------------------------------------------
+
+    def start(self):
+        """Begin protocol operation (called once by the harness)."""
+
+    def accepted(self, conn):
+        """An inbound connection was established."""
+
+    def connection_closed(self, conn):
+        """A connection was closed by the remote side."""
+
+    # -- helpers -----------------------------------------------------------------
+
+    def connect(self, remote_id, on_connect):
+        """Open a connection; the callback receives it fully wired."""
+
+        def wired(conn):
+            conn.on_message = self._dispatch
+            conn.on_close = self._closed
+            if not self.stopped:
+                on_connect(conn)
+
+        self.endpoint.connect(remote_id, wired)
+
+    def _closed(self, conn):
+        if not self.stopped:
+            self.connection_closed(conn)
+
+    def schedule(self, delay, fn):
+        def guarded():
+            if not self.stopped:
+                fn()
+
+        timer = self.sim.schedule(delay, guarded)
+        self._timers.append(timer)
+        return timer
+
+    def periodic(self, period, fn, jitter_rng=None):
+        def guarded():
+            if self.stopped:
+                return False
+            return fn()
+
+        handle = self.sim.schedule_periodic(period, guarded, jitter_rng)
+        self._timers.append(handle)
+        return handle
+
+    def stop(self):
+        """Halt the node: cancel timers, close connections."""
+        self.stopped = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for conn in list(self.endpoint.connections):
+            conn.close()

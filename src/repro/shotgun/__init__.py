@@ -1,0 +1,39 @@
+"""Shotgun: rapid multi-node synchronization (paper section 4.8).
+
+Shotgun wraps an rsync-style delta pipeline around Bullet': instead of
+the server running one rsync per client (N point-to-point transfers all
+competing for the server's disk, CPU and bandwidth), the server computes
+the delta *once*, archives it, and disseminates the archive through the
+overlay; every client applies the delta locally.
+
+- :mod:`repro.shotgun.rsync` — a from-scratch implementation of the
+  rolling-checksum block-delta algorithm (signature / delta / patch),
+  the substrate the real tool wraps.
+- :mod:`repro.shotgun.shotgun` — the ``shotgund`` daemon model, the
+  ``shotgun_sync`` orchestration, and the staggered-parallel-rsync
+  baseline used in Figure 15.
+"""
+
+from repro.shotgun.rsync import (
+    Delta,
+    Signature,
+    apply_delta,
+    compute_delta,
+    compute_signature,
+)
+from repro.shotgun.shotgun import (
+    ParallelRsyncModel,
+    ShotgunSession,
+    UpdateBundle,
+)
+
+__all__ = [
+    "Signature",
+    "Delta",
+    "compute_signature",
+    "compute_delta",
+    "apply_delta",
+    "UpdateBundle",
+    "ShotgunSession",
+    "ParallelRsyncModel",
+]

@@ -1,0 +1,189 @@
+"""The rsync block-delta algorithm (Tridgell's scheme), from scratch.
+
+Three stages:
+
+1. :func:`compute_signature` — the receiver-side file is summarized as
+   per-block (weak rolling checksum, strong hash) pairs.
+2. :func:`compute_delta` — the sender slides a window over the new file;
+   wherever the weak checksum matches a signature block (confirmed by
+   the strong hash), it emits a COPY instruction, otherwise it
+   accumulates literal bytes.  The rolling property makes the slide
+   O(1) per byte.
+3. :func:`apply_delta` — the receiver replays COPY/LITERAL instructions
+   against its old file to produce the new one.
+
+Shotgun runs rsync in *batch mode*: the delta is computed once at the
+server against the previous software image and shipped to every client,
+so correctness here only requires that all clients hold the same old
+image — exactly the paper's usage.
+"""
+
+import hashlib
+
+__all__ = [
+    "Signature",
+    "Delta",
+    "compute_signature",
+    "compute_delta",
+    "apply_delta",
+    "weak_checksum",
+    "RollingChecksum",
+]
+
+_MOD = 1 << 16
+
+
+def weak_checksum(data):
+    """Adler-style weak checksum of ``data`` (the rollable one)."""
+    a = 0
+    b = 0
+    for i, byte in enumerate(data):
+        a = (a + byte) % _MOD
+        b = (b + (len(data) - i) * byte) % _MOD
+    return (b << 16) | a
+
+
+class RollingChecksum:
+    """Incrementally maintained weak checksum over a sliding window."""
+
+    __slots__ = ("block_len", "_a", "_b")
+
+    def __init__(self, window):
+        self.block_len = len(window)
+        a = 0
+        b = 0
+        for i, byte in enumerate(window):
+            a = (a + byte) % _MOD
+            b = (b + (len(window) - i) * byte) % _MOD
+        self._a = a
+        self._b = b
+
+    @property
+    def value(self):
+        return (self._b << 16) | self._a
+
+    def roll(self, out_byte, in_byte):
+        """Slide the window one byte: drop ``out_byte``, add ``in_byte``."""
+        self._a = (self._a - out_byte + in_byte) % _MOD
+        self._b = (self._b - self.block_len * out_byte + self._a) % _MOD
+
+
+def _strong_hash(data):
+    return hashlib.sha1(data).digest()
+
+
+class Signature:
+    """Per-block checksums of the old file."""
+
+    def __init__(self, block_len, blocks):
+        self.block_len = block_len
+        #: list of (weak, strong) in block order.
+        self.blocks = list(blocks)
+        self._index = {}
+        for position, (weak, strong) in enumerate(self.blocks):
+            self._index.setdefault(weak, []).append((position, strong))
+
+    def lookup(self, weak, strong_of):
+        """Return the block index matching ``weak`` whose strong hash
+        equals ``strong_of()`` (lazily computed), else None."""
+        candidates = self._index.get(weak)
+        if not candidates:
+            return None
+        strong = strong_of()
+        for position, candidate_strong in candidates:
+            if candidate_strong == strong:
+                return position
+        return None
+
+    def wire_size(self):
+        """Bytes to ship this signature (4-byte weak + 20-byte strong)."""
+        return 8 + 24 * len(self.blocks)
+
+
+class Delta:
+    """COPY/LITERAL instruction stream transforming old -> new."""
+
+    COPY = "copy"
+    LITERAL = "literal"
+
+    def __init__(self, block_len, ops):
+        self.block_len = block_len
+        self.ops = list(ops)
+
+    def wire_size(self):
+        """Bytes to ship the delta: literals dominate; a COPY costs 9."""
+        total = 8
+        for op, payload in self.ops:
+            if op == Delta.COPY:
+                total += 9
+            else:
+                total += 5 + len(payload)
+        return total
+
+    def literal_bytes(self):
+        return sum(
+            len(payload) for op, payload in self.ops if op == Delta.LITERAL
+        )
+
+    def copy_count(self):
+        return sum(1 for op, _ in self.ops if op == Delta.COPY)
+
+
+def compute_signature(old_data, block_len):
+    """Stage 1: checksum the receiver's current file."""
+    if block_len < 1:
+        raise ValueError(f"block_len must be >= 1, got {block_len}")
+    blocks = []
+    for offset in range(0, len(old_data), block_len):
+        block = old_data[offset : offset + block_len]
+        blocks.append((weak_checksum(block), _strong_hash(block)))
+    return Signature(block_len, blocks)
+
+
+def compute_delta(signature, new_data):
+    """Stage 2: express ``new_data`` as copies from the old file plus
+    literal runs, using the rolling weak checksum to find matches."""
+    block_len = signature.block_len
+    new_data = bytes(new_data)
+    n = len(new_data)
+    ops = []
+    literal_start = 0
+    offset = 0
+    roller = None
+    while offset + block_len <= n:
+        window = new_data[offset : offset + block_len]
+        if roller is None:
+            roller = RollingChecksum(window)
+        match = signature.lookup(roller.value, lambda w=window: _strong_hash(w))
+        if match is not None:
+            if literal_start < offset:
+                ops.append((Delta.LITERAL, new_data[literal_start:offset]))
+            ops.append((Delta.COPY, match))
+            offset += block_len
+            literal_start = offset
+            roller = None
+        else:
+            if offset + block_len < n:
+                roller.roll(new_data[offset], new_data[offset + block_len])
+            offset += 1
+    if literal_start < n:
+        ops.append((Delta.LITERAL, new_data[literal_start:]))
+    return Delta(block_len, ops)
+
+
+def apply_delta(old_data, delta):
+    """Stage 3: reconstruct the new file at the receiver."""
+    block_len = delta.block_len
+    out = []
+    for op, payload in delta.ops:
+        if op == Delta.COPY:
+            start = payload * block_len
+            block = old_data[start : start + block_len]
+            if len(block) == 0:
+                raise ValueError(f"COPY of block {payload} beyond old file")
+            out.append(block)
+        elif op == Delta.LITERAL:
+            out.append(payload)
+        else:
+            raise ValueError(f"unknown delta op {op!r}")
+    return b"".join(out)

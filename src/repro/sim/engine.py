@@ -1,0 +1,142 @@
+"""Deterministic discrete-event loop.
+
+A single :class:`Simulator` instance owns simulated time.  Events are
+``(time, sequence, callback)`` triples in a binary heap; the sequence
+number makes execution order deterministic for simultaneous events, so a
+given seed always reproduces the same run bit-for-bit.
+"""
+
+import heapq
+
+__all__ = ["Simulator", "Timer"]
+
+
+class Timer:
+    """Handle for a scheduled event; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped
+    when popped.  This keeps ``cancel()`` O(1), which matters because the
+    transport reschedules transmission-complete events on every rate
+    change.
+    """
+
+    __slots__ = ("time", "_callback", "_cancelled")
+
+    def __init__(self, time, callback):
+        self.time = time
+        self._callback = callback
+        self._cancelled = False
+
+    def cancel(self):
+        self._cancelled = True
+        self._callback = None
+
+    @property
+    def cancelled(self):
+        return self._cancelled
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.schedule(2.0, lambda: order.append("b"))
+    >>> _ = sim.schedule(1.0, lambda: order.append("a"))
+    >>> sim.run()
+    >>> order
+    ['a', 'b']
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._sequence = 0
+        self._running = False
+        self._stopped = False
+
+    def schedule(self, delay, callback):
+        """Run ``callback()`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time, callback):
+        """Run ``callback()`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        timer = Timer(time, callback)
+        heapq.heappush(self._heap, (time, self._sequence, timer))
+        self._sequence += 1
+        return timer
+
+    def schedule_periodic(self, period, callback, jitter_rng=None):
+        """Run ``callback()`` every ``period`` seconds until it returns False.
+
+        If ``jitter_rng`` is given, each interval is perturbed by up to
+        +/-10% to break synchronization between nodes, as real protocol
+        timers do.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+
+        state = {"timer": None}
+
+        def fire():
+            keep_going = callback()
+            if keep_going is False:
+                state["timer"] = None
+                return
+            delay = period
+            if jitter_rng is not None:
+                delay *= 1.0 + jitter_rng.uniform(-0.1, 0.1)
+            state["timer"] = self.schedule(delay, fire)
+
+        state["timer"] = self.schedule(period, fire)
+
+        class _PeriodicHandle:
+            def cancel(self):
+                if state["timer"] is not None:
+                    state["timer"].cancel()
+                    state["timer"] = None
+
+        return _PeriodicHandle()
+
+    def stop(self):
+        """Stop the run loop after the current event."""
+        self._stopped = True
+
+    def run(self, until=None):
+        """Process events until the heap drains, ``until`` is reached, or
+        :meth:`stop` is called.
+
+        When ``until`` is given, ``now`` is advanced to exactly ``until``
+        on return even if the heap drained earlier.
+        """
+        if self._running:
+            raise RuntimeError("simulator is already running (reentrant run)")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                time, _seq, timer = self._heap[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._heap)
+                if timer.cancelled:
+                    continue
+                self.now = time
+                callback = timer._callback
+                timer._callback = None
+                callback()
+            if until is not None and not self._stopped:
+                self.now = max(self.now, until)
+        finally:
+            self._running = False
+
+    @property
+    def pending_events(self):
+        """Number of events in the heap, including cancelled ones."""
+        return len(self._heap)

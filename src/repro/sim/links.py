@@ -1,0 +1,80 @@
+"""Network links.
+
+A :class:`Link` is a unidirectional capacity-constrained pipe with a
+propagation delay and a random-loss probability.  Links are shared by the
+TCP flows routed over them; the :mod:`repro.sim.tcp` allocator divides
+``capacity`` among those flows max-min fairly.
+
+Capacity can be changed at runtime — this is how the paper's dynamic
+bandwidth scenarios (section 4.1 and Figure 12) are realized.
+"""
+
+__all__ = ["Link"]
+
+
+class Link:
+    """One unidirectional link.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in traces and repr).
+    capacity:
+        Bandwidth in bytes/second.
+    delay:
+        One-way propagation delay in seconds.
+    loss_rate:
+        Probability that any given packet is dropped.  This feeds the
+        Mathis throughput cap of TCP flows crossing the link and the
+        retransmission-delay model for control messages; the simulator
+        never actually drops application bytes (TCP is reliable).
+    """
+
+    __slots__ = ("name", "_capacity", "delay", "loss_rate", "flows", "on_capacity_change")
+
+    def __init__(self, name, capacity, delay=0.0, loss_rate=0.0):
+        if capacity <= 0:
+            raise ValueError(f"link {name}: capacity must be > 0, got {capacity}")
+        if delay < 0:
+            raise ValueError(f"link {name}: delay must be >= 0, got {delay}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(
+                f"link {name}: loss_rate must be in [0, 1), got {loss_rate}"
+            )
+        self.name = name
+        self._capacity = capacity
+        self.delay = delay
+        self.loss_rate = loss_rate
+        #: Active flows currently routed over this link (managed by
+        #: :class:`repro.sim.tcp.FlowNetwork`).
+        self.flows = set()
+        #: Optional callback invoked as ``on_capacity_change(link)`` when
+        #: capacity is mutated; the flow network hooks this to trigger a
+        #: rate reallocation.
+        self.on_capacity_change = None
+
+    @property
+    def capacity(self):
+        return self._capacity
+
+    @capacity.setter
+    def capacity(self, value):
+        if value <= 0:
+            raise ValueError(f"link {self.name}: capacity must be > 0, got {value}")
+        if value == self._capacity:
+            return
+        self._capacity = value
+        if self.on_capacity_change is not None:
+            self.on_capacity_change(self)
+
+    def scale_capacity(self, factor):
+        """Multiply capacity by ``factor`` (used by dynamic scenarios)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        self.capacity = self._capacity * factor
+
+    def __repr__(self):
+        return (
+            f"Link({self.name!r}, cap={self._capacity:.0f}B/s, "
+            f"delay={self.delay * 1e3:.1f}ms, loss={self.loss_rate:.3f})"
+        )

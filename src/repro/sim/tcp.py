@@ -1,0 +1,295 @@
+"""Flow-level TCP throughput model.
+
+Real Bullet' rides on per-peer TCP connections.  Their steady-state
+throughput is governed by (a) fair sharing of bottleneck links with
+competing flows and (b) the loss/RTT cap captured by the Mathis model::
+
+    rate <= MSS / (RTT * sqrt(2*p/3))
+
+:class:`FlowNetwork` implements progressive filling (water-filling)
+max-min fair allocation over the links each flow traverses, with each
+flow additionally bounded by its Mathis cap and a slow-start ramp after
+connection establishment.  Allocation is recomputed when the set of
+active flows changes or a link capacity changes; recomputations within
+``reallocation_interval`` are coalesced to keep large experiments linear
+in the number of block transfers.
+"""
+
+import math
+
+__all__ = ["TcpModel", "Flow", "FlowNetwork"]
+
+#: TCP maximum segment size used by the Mathis cap, in bytes.
+MSS = 1460
+
+
+class TcpModel:
+    """Per-flow throughput bounds derived from path properties."""
+
+    def __init__(self, mss=MSS, min_rto=0.2, ramp_initial_segments=4):
+        self.mss = mss
+        self.min_rto = min_rto
+        self.ramp_initial_segments = ramp_initial_segments
+
+    def path_loss(self, links):
+        """Aggregate loss probability across ``links`` (independent drops)."""
+        keep = 1.0
+        for link in links:
+            keep *= 1.0 - link.loss_rate
+        return 1.0 - keep
+
+    def path_rtt(self, links):
+        """Round-trip time: twice the one-way propagation delay."""
+        return 2.0 * sum(link.delay for link in links)
+
+    def mathis_cap(self, links):
+        """Loss-bounded steady-state throughput in bytes/second.
+
+        Returns ``inf`` on loss-free paths (the fair-share allocation is
+        then the only bound, as for a long TCP flow with ample windows).
+        """
+        p = self.path_loss(links)
+        if p <= 0.0:
+            return math.inf
+        rtt = max(self.path_rtt(links), 1e-4)
+        return self.mss / (rtt * math.sqrt(2.0 * p / 3.0))
+
+    def retransmission_timeout(self, links):
+        """RTO estimate used to penalize control messages on lossy paths."""
+        return max(self.min_rto, 2.0 * self.path_rtt(links))
+
+    def slow_start_cap(self, links, age):
+        """Rate bound while the congestion window ramps up.
+
+        Approximates slow start: the window starts at
+        ``ramp_initial_segments`` segments and doubles every RTT, so the
+        achievable rate at connection age ``age`` is
+        ``initial * 2^(age/RTT) * MSS / RTT``.
+        """
+        rtt = max(self.path_rtt(links), 1e-4)
+        doublings = age / rtt
+        if doublings > 40:  # beyond any practical window growth
+            return math.inf
+        window_segments = self.ramp_initial_segments * (2.0 ** doublings)
+        return window_segments * self.mss / rtt
+
+
+class Flow:
+    """One direction of a TCP connection, as seen by the allocator."""
+
+    __slots__ = (
+        "name",
+        "links",
+        "mathis_cap",
+        "rtt",
+        "loss",
+        "rto",
+        "started_at",
+        "rate",
+        "on_rate_change",
+        "_active",
+        "_network",
+    )
+
+    def __init__(self, name, links, model, started_at):
+        self.name = name
+        self.links = tuple(links)
+        self.mathis_cap = model.mathis_cap(links)
+        self.rtt = model.path_rtt(links)
+        self.loss = model.path_loss(links)
+        self.rto = model.retransmission_timeout(links)
+        self.started_at = started_at
+        self.rate = 0.0
+        #: Callback ``on_rate_change(flow, old_rate)`` fired when the
+        #: allocation changes the flow's rate; the transport credits
+        #: progress at ``old_rate`` and reschedules transmissions.
+        self.on_rate_change = None
+        self._active = False
+        self._network = None
+
+    @property
+    def active(self):
+        return self._active
+
+    def __repr__(self):
+        return f"Flow({self.name!r}, rate={self.rate:.0f}B/s, active={self._active})"
+
+
+class FlowNetwork:
+    """Max-min fair rate allocation over a set of links.
+
+    The transport activates a flow when its send queue becomes non-empty
+    and deactivates it when the queue drains.  Each activation change or
+    link-capacity change marks the allocation dirty; a reallocation event
+    runs at most once per ``reallocation_interval`` of simulated time
+    (changes within one interval are coalesced, trading a bounded amount
+    of short-term accuracy for linear running time).
+    """
+
+    def __init__(self, sim, model=None, reallocation_interval=0.01):
+        self.sim = sim
+        self.model = model if model is not None else TcpModel()
+        self.reallocation_interval = reallocation_interval
+        self._active_flows = set()
+        self._dirty = False
+        self._realloc_scheduled = False
+        self._ramping = False
+        self._last_realloc = -math.inf
+        #: Number of allocations performed (exposed for tests/benchmarks).
+        self.reallocations = 0
+
+    def new_flow(self, name, links):
+        flow = Flow(name, links, self.model, started_at=self.sim.now)
+        flow._network = self
+        for link in links:
+            if link.on_capacity_change is None:
+                link.on_capacity_change = self._capacity_changed
+        return flow
+
+    def activate(self, flow):
+        """Mark ``flow`` as having data to send."""
+        if flow._active:
+            return
+        flow._active = True
+        self._active_flows.add(flow)
+        for link in flow.links:
+            link.flows.add(flow)
+        self._mark_dirty()
+
+    def deactivate(self, flow):
+        """Mark ``flow`` idle; its share is redistributed."""
+        if not flow._active:
+            return
+        flow._active = False
+        self._active_flows.discard(flow)
+        for link in flow.links:
+            link.flows.discard(flow)
+        flow.rate = 0.0
+        self._mark_dirty()
+
+    def _capacity_changed(self, _link):
+        self._mark_dirty()
+
+    def _mark_dirty(self):
+        self._dirty = True
+        if self._realloc_scheduled:
+            return
+        elapsed = self.sim.now - self._last_realloc
+        delay = max(0.0, self.reallocation_interval - elapsed)
+        self._realloc_scheduled = True
+        self.sim.schedule(delay, self._run_reallocation)
+
+    def _run_reallocation(self):
+        self._realloc_scheduled = False
+        if not self._dirty:
+            return
+        self._dirty = False
+        self._last_realloc = self.sim.now
+        self.reallocate()
+
+    def flow_cap(self, flow):
+        """Instantaneous per-flow rate bound (Mathis cap + slow-start)."""
+        age = self.sim.now - flow.started_at
+        ramp = self.model.slow_start_cap(flow.links, age)
+        if ramp < flow.mathis_cap:
+            self._ramping = True
+        return min(flow.mathis_cap, ramp)
+
+    def reallocate(self):
+        """Progressive-filling max-min allocation.
+
+        Flows bounded below their fair share by their cap are frozen at
+        the cap; remaining capacity is repeatedly divided among unfrozen
+        flows at the tightest link.
+        """
+        self.reallocations += 1
+        flows = list(self._active_flows)
+        if not flows:
+            return
+        self._ramping = False
+        caps = {flow: self.flow_cap(flow) for flow in flows}
+        remaining = {}
+        unfrozen_per_link = {}
+        links = set()
+        for flow in flows:
+            links.update(flow.links)
+        for link in links:
+            remaining[link] = link.capacity
+            unfrozen_per_link[link] = len(link.flows)
+        allocation = {}
+        unfrozen = set(flows)
+
+        while unfrozen:
+            # Tightest fair share over links that still carry unfrozen flows.
+            bottleneck_share = math.inf
+            for link in links:
+                count = unfrozen_per_link[link]
+                if count > 0:
+                    share = remaining[link] / count
+                    if share < bottleneck_share:
+                        bottleneck_share = share
+            if bottleneck_share is math.inf:
+                # All remaining flows traverse only frozen links (cannot
+                # happen with positive capacities, but guard anyway).
+                for flow in unfrozen:
+                    allocation[flow] = caps[flow]
+                break
+
+            # Freeze cap-limited flows first: any unfrozen flow whose cap
+            # is at or below the current fair share gets exactly its cap.
+            cap_limited = [f for f in unfrozen if caps[f] <= bottleneck_share]
+            if cap_limited:
+                for flow in cap_limited:
+                    rate = caps[flow]
+                    allocation[flow] = rate
+                    unfrozen.discard(flow)
+                    for link in flow.links:
+                        remaining[link] -= rate
+                        unfrozen_per_link[link] -= 1
+                continue
+
+            # Otherwise freeze every flow on the bottleneck link(s).
+            frozen_any = False
+            for link in list(links):
+                if unfrozen_per_link[link] == 0:
+                    continue
+                if remaining[link] / unfrozen_per_link[link] <= bottleneck_share * (1 + 1e-12):
+                    for flow in list(link.flows):
+                        if flow not in unfrozen:
+                            continue
+                        allocation[flow] = bottleneck_share
+                        unfrozen.discard(flow)
+                        frozen_any = True
+                        for flow_link in flow.links:
+                            remaining[flow_link] -= bottleneck_share
+                            unfrozen_per_link[flow_link] -= 1
+            if not frozen_any:  # numerical corner: freeze everything
+                for flow in list(unfrozen):
+                    allocation[flow] = min(bottleneck_share, caps[flow])
+                    unfrozen.discard(flow)
+
+        for flow, rate in allocation.items():
+            rate = max(rate, 0.0)
+            if abs(rate - flow.rate) > 1e-9:
+                old_rate = flow.rate
+                flow.rate = rate
+                if flow.on_rate_change is not None:
+                    # The old rate is passed so byte-progress accrued since
+                    # the last event is credited at the rate that actually
+                    # applied (crediting at the new rate would let an
+                    # oversubscribed link deliver more than its capacity).
+                    flow.on_rate_change(flow, old_rate)
+
+        if self._ramping and not self._realloc_scheduled:
+            # Some flow is still inside its slow-start ramp: its cap grows
+            # with time, so revisit the allocation shortly.  The revisit
+            # delay has a positive floor so a zero reallocation interval
+            # cannot spin at one timestamp.
+            self._dirty = True
+            self._realloc_scheduled = True
+            delay = max(self.reallocation_interval, 0.005)
+            self.sim.schedule(delay, self._run_reallocation)
+
+    @property
+    def active_flow_count(self):
+        return len(self._active_flows)

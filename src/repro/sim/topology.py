@@ -1,0 +1,232 @@
+"""Topologies from the paper's evaluation (section 4.1).
+
+All experiments in the paper run on a *fully interconnected mesh*: every
+pair of overlay participants is joined by a dedicated core link, and each
+node additionally has inbound and outbound access links.  This gives the
+evaluator full control over per-pair bandwidth and loss, and we keep the
+same shape:
+
+- ``mesh_topology`` — the main configuration: 6 Mbps access links (1 ms),
+  2 Mbps core links with loss drawn uniformly from [0, max_loss] and
+  propagation delay uniform in [5 ms, 200 ms].
+- ``constrained_access_topology`` — Figure 9: ample 10 Mbps / 1 ms core,
+  800 Kbps access links, no loss.
+- ``star_topology`` — Figure 12: a small set of nodes with dedicated
+  per-pair links (used for the cascading-slowdown experiment).
+- ``planetlab_like_topology`` — a synthetic wide-area stand-in for the
+  PlanetLab deployment: heterogeneous heavy-tailed access rates and
+  transcontinental RTTs.
+"""
+
+from repro.common.rng import split_rng
+from repro.common.units import KBPS, MBPS, MS
+from repro.sim.links import Link
+
+__all__ = [
+    "Topology",
+    "mesh_topology",
+    "constrained_access_topology",
+    "star_topology",
+    "planetlab_like_topology",
+]
+
+
+class Topology:
+    """A set of node ids plus per-ordered-pair paths of links."""
+
+    def __init__(self, nodes):
+        self.nodes = list(nodes)
+        self._node_set = set(self.nodes)
+        #: node -> outbound access link (may be None)
+        self.access_up = {}
+        #: node -> inbound access link (may be None)
+        self.access_down = {}
+        #: (src, dst) -> core link (required for every ordered pair that
+        #: will communicate)
+        self.core = {}
+
+    def add_access(self, node, up, down):
+        self.access_up[node] = up
+        self.access_down[node] = down
+
+    def add_core(self, src, dst, link):
+        self.core[(src, dst)] = link
+
+    def path(self, src, dst):
+        """Ordered links a flow from ``src`` to ``dst`` traverses."""
+        if src not in self._node_set or dst not in self._node_set:
+            raise KeyError(f"unknown endpoint in path {src!r}->{dst!r}")
+        if src == dst:
+            raise ValueError("no self-paths")
+        links = []
+        up = self.access_up.get(src)
+        if up is not None:
+            links.append(up)
+        core = self.core.get((src, dst))
+        if core is None:
+            raise KeyError(f"no core link {src!r}->{dst!r}")
+        links.append(core)
+        down = self.access_down.get(dst)
+        if down is not None:
+            links.append(down)
+        return links
+
+    def rtt(self, src, dst):
+        """Round-trip propagation delay between two nodes."""
+        forward = sum(link.delay for link in self.path(src, dst))
+        backward = sum(link.delay for link in self.path(dst, src))
+        return forward + backward
+
+    def core_links_into(self, dst):
+        """All core links whose destination is ``dst`` (Figure 12 uses
+        this to throttle individual senders of one node)."""
+        return {
+            src: link for (src, d), link in self.core.items() if d == dst
+        }
+
+    def all_core_links(self):
+        return list(self.core.values())
+
+    def __repr__(self):
+        return f"Topology(n={len(self.nodes)}, core_links={len(self.core)})"
+
+
+def _full_mesh(topology, nodes, make_core):
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            topology.add_core(src, dst, make_core(src, dst))
+
+
+def mesh_topology(
+    num_nodes,
+    seed=0,
+    access_bw=6 * MBPS,
+    core_bw=2 * MBPS,
+    max_loss=0.03,
+    min_core_delay=5 * MS,
+    max_core_delay=200 * MS,
+    access_delay=1 * MS,
+):
+    """The paper's main ModelNet configuration.
+
+    Loss and delay are drawn per core link, uniformly at random, and stay
+    fixed for the duration of an experiment (the dynamic scenarios mutate
+    *capacity*, not loss — matching section 4.1).
+    """
+    rng = split_rng(seed, "topology.mesh")
+    nodes = list(range(num_nodes))
+    topo = Topology(nodes)
+    for node in nodes:
+        topo.add_access(
+            node,
+            Link(f"up{node}", access_bw, access_delay),
+            Link(f"down{node}", access_bw, access_delay),
+        )
+
+    def make_core(src, dst):
+        loss = rng.uniform(0.0, max_loss)
+        delay = rng.uniform(min_core_delay, max_core_delay)
+        return Link(f"core{src}->{dst}", core_bw, delay, loss)
+
+    _full_mesh(topo, nodes, make_core)
+    return topo
+
+
+def constrained_access_topology(
+    num_nodes,
+    seed=0,
+    access_bw=800 * KBPS,
+    core_bw=10 * MBPS,
+    core_delay=1 * MS,
+    access_delay=1 * MS,
+):
+    """Figure 9: ample core bandwidth, constrained access links, no loss."""
+    nodes = list(range(num_nodes))
+    topo = Topology(nodes)
+    for node in nodes:
+        topo.add_access(
+            node,
+            Link(f"up{node}", access_bw, access_delay),
+            Link(f"down{node}", access_bw, access_delay),
+        )
+
+    def make_core(src, dst):
+        return Link(f"core{src}->{dst}", core_bw, core_delay)
+
+    _full_mesh(topo, nodes, make_core)
+    return topo
+
+
+def star_topology(
+    num_nodes,
+    core_bw=10 * MBPS,
+    core_delay=1 * MS,
+    special_links=None,
+):
+    """Small dedicated-link topologies for the Figure 10/12 experiments.
+
+    Every ordered pair gets a dedicated core link of ``core_bw`` /
+    ``core_delay``; entries in ``special_links`` —
+    ``{(src, dst): (bw, delay)}`` — override individual pairs (Figure 12
+    gives the throttled 8th node 5 Mbps / 100 ms links).  No access links
+    are modeled: the per-pair links are the only constraint, matching the
+    dedicated-link setups of those figures.
+    """
+    special_links = special_links or {}
+    nodes = list(range(num_nodes))
+    topo = Topology(nodes)
+    for node in nodes:
+        topo.add_access(node, None, None)
+
+    def make_core(src, dst):
+        bw, delay = special_links.get((src, dst), (core_bw, core_delay))
+        return Link(f"core{src}->{dst}", bw, delay)
+
+    _full_mesh(topo, nodes, make_core)
+    return topo
+
+
+def planetlab_like_topology(
+    num_nodes,
+    seed=0,
+    min_access=1 * MBPS,
+    max_access=10 * MBPS,
+    max_loss=0.02,
+):
+    """A synthetic wide-area topology standing in for PlanetLab.
+
+    PlanetLab sites in 2005 were heterogeneous: DSL-class through GbE
+    access, intercontinental RTTs, and background congestion.  We draw
+    access bandwidth from a heavy-tailed distribution in
+    [min_access, max_access], core delay from a trimodal continental/
+    transatlantic/transpacific mix, and mild random loss.
+    """
+    rng = split_rng(seed, "topology.planetlab")
+    nodes = list(range(num_nodes))
+    topo = Topology(nodes)
+    for node in nodes:
+        # Heavy tail: most sites are fast, a noticeable minority is slow.
+        bw = min_access + (max_access - min_access) * (rng.random() ** 2)
+        topo.add_access(
+            node,
+            Link(f"up{node}", bw, 1 * MS),
+            Link(f"down{node}", bw, 1 * MS),
+        )
+
+    def make_core(src, dst):
+        roll = rng.random()
+        if roll < 0.5:
+            delay = rng.uniform(10 * MS, 50 * MS)  # same continent
+        elif roll < 0.85:
+            delay = rng.uniform(60 * MS, 120 * MS)  # transatlantic
+        else:
+            delay = rng.uniform(120 * MS, 250 * MS)  # transpacific
+        loss = rng.uniform(0.0, max_loss)
+        # Core capacity ample relative to access; congestion shows up as
+        # loss and shared access links.
+        return Link(f"core{src}->{dst}", 20 * MBPS, delay, loss)
+
+    _full_mesh(topo, nodes, make_core)
+    return topo

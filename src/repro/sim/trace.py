@@ -1,0 +1,95 @@
+"""Experiment metrics.
+
+The collector records, per node: completion time, every block arrival
+(for the Figure 13 inter-arrival analysis), duplicate block receipts,
+and control-byte overhead.  It is deliberately passive — protocols call
+``block_received`` / ``completed`` and the harness reads the results.
+"""
+
+from repro.common.stats import Cdf
+
+__all__ = ["TraceCollector"]
+
+
+class TraceCollector:
+    """Passive metric sink shared by all nodes of one experiment run."""
+
+    def __init__(self, sim, num_blocks):
+        self.sim = sim
+        self.num_blocks = num_blocks
+        self.completion_times = {}
+        self.block_arrivals = {}
+        self.duplicate_blocks = {}
+        self.control_bytes = {}
+        self.data_bytes = {}
+        self.start_time = sim.now
+
+    def node_started(self, node_id):
+        self.block_arrivals.setdefault(node_id, [])
+        self.duplicate_blocks.setdefault(node_id, 0)
+        self.control_bytes.setdefault(node_id, 0)
+        self.data_bytes.setdefault(node_id, 0)
+
+    def block_received(self, node_id, block, duplicate=False):
+        if duplicate:
+            self.duplicate_blocks[node_id] = (
+                self.duplicate_blocks.get(node_id, 0) + 1
+            )
+            return
+        self.block_arrivals.setdefault(node_id, []).append(
+            (self.sim.now, block)
+        )
+
+    def control_sent(self, node_id, nbytes):
+        self.control_bytes[node_id] = self.control_bytes.get(node_id, 0) + nbytes
+
+    def data_sent(self, node_id, nbytes):
+        self.data_bytes[node_id] = self.data_bytes.get(node_id, 0) + nbytes
+
+    def completed(self, node_id):
+        if node_id not in self.completion_times:
+            self.completion_times[node_id] = self.sim.now - self.start_time
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def all_complete(self):
+        return len(self.completion_times) >= len(self.block_arrivals)
+
+    def completion_cdf(self):
+        """CDF of download times across nodes that finished."""
+        if not self.completion_times:
+            raise RuntimeError("no node completed; cannot build a CDF")
+        return Cdf(self.completion_times.values())
+
+    def interarrival_series(self, node_id):
+        """Inter-arrival gaps for one node, in arrival order."""
+        arrivals = [t for t, _ in self.block_arrivals.get(node_id, [])]
+        return [b - a for a, b in zip(arrivals, arrivals[1:])]
+
+    def mean_interarrival_by_index(self):
+        """Figure 13's series: for each arrival index i, the average (over
+        nodes) gap between the i-th and (i+1)-th received block."""
+        series = {}
+        counts = {}
+        for node_id in self.block_arrivals:
+            gaps = self.interarrival_series(node_id)
+            for i, gap in enumerate(gaps):
+                series[i] = series.get(i, 0.0) + gap
+                counts[i] = counts.get(i, 0) + 1
+        return [series[i] / counts[i] for i in sorted(series)]
+
+    def last_block_overage(self, tail=20):
+        """Cumulative overage of the last ``tail`` inter-arrival gaps above
+        the overall mean gap (paper section 4.6)."""
+        gaps_all = self.mean_interarrival_by_index()
+        if len(gaps_all) <= tail:
+            return 0.0
+        mean_gap = sum(gaps_all) / len(gaps_all)
+        return sum(max(0.0, g - mean_gap) for g in gaps_all[-tail:])
+
+    def total_duplicates(self):
+        return sum(self.duplicate_blocks.values())
+
+    def total_control_bytes(self):
+        return sum(self.control_bytes.values())

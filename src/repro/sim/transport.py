@@ -1,0 +1,407 @@
+"""Reliable in-order message transport over the flow network.
+
+Protocols in this reproduction are written against the same abstractions
+MACEDON gave the paper's implementation: nodes own an :class:`Endpoint`,
+open :class:`Connection` objects to peers, and exchange :class:`Message`
+objects.  Underneath, each direction of a connection is a :class:`Channel`
+with a FIFO send queue drained at the rate the
+:class:`~repro.sim.tcp.FlowNetwork` allocates to its flow.
+
+The channel also implements the sender-side accounting that Bullet's
+flow-control loop (paper section 3.3.3) consumes:
+
+- ``in_front`` — number of queued blocks ahead of the "socket buffer"
+  (we treat the message currently being transmitted as the socket
+  buffer) when a block is enqueued;
+- ``wasted`` — negative if the pipe sat idle before this block was
+  enqueued (the idle gap), positive if the block waited in the queue
+  before transmission began (its service time).
+
+Loss does not drop bytes (TCP retransmits); it throttles flows through
+the Mathis cap and adds a sampled retransmission delay to *control*
+messages, reproducing the paper's observation that availability
+information becomes stale on lossy paths.
+"""
+
+__all__ = ["Message", "Connection", "Endpoint", "Network"]
+
+#: Per-message framing overhead in bytes (TCP/IP + protocol header).
+MESSAGE_HEADER_BYTES = 64
+
+
+class Message:
+    """A protocol message.
+
+    ``kind`` is a short string tag used for dispatch; ``payload`` is an
+    arbitrary object (never serialized — the simulator only accounts for
+    ``size`` bytes on the wire).  ``is_block`` marks bulk data-block
+    messages; everything else is treated as control traffic.
+    """
+
+    __slots__ = (
+        "kind",
+        "payload",
+        "size",
+        "is_block",
+        "in_front",
+        "wasted",
+        "_enqueued_at",
+    )
+
+    def __init__(self, kind, payload=None, size=64, is_block=False):
+        if size <= 0:
+            raise ValueError(f"message size must be > 0, got {size}")
+        self.kind = kind
+        self.payload = payload
+        self.size = size
+        self.is_block = is_block
+        #: Filled in by the sending channel for block messages.
+        self.in_front = 0
+        self.wasted = 0.0
+        self._enqueued_at = None
+
+    def __repr__(self):
+        return f"Message({self.kind!r}, size={self.size}, block={self.is_block})"
+
+
+class Channel:
+    """One direction of a connection: a FIFO drained at the flow's rate."""
+
+    __slots__ = (
+        "network",
+        "connection",
+        "flow",
+        "prop_delay",
+        "queue",
+        "head_remaining",
+        "last_advance",
+        "idle_since",
+        "head_started_tx",
+        "_event",
+        "bytes_sent",
+        "closed",
+    )
+
+    def __init__(self, network, connection, flow, prop_delay):
+        self.network = network
+        self.connection = connection
+        self.flow = flow
+        self.prop_delay = prop_delay
+        self.queue = []
+        self.head_remaining = 0.0
+        self.last_advance = network.sim.now
+        self.idle_since = network.sim.now
+        self.head_started_tx = None
+        self._event = None
+        self.bytes_sent = 0
+        self.closed = False
+        flow.on_rate_change = self._rate_changed
+
+    # -- queue state queries used by protocols -------------------------------
+
+    @property
+    def queued_messages(self):
+        return len(self.queue)
+
+    def queued_block_count(self):
+        """Blocks waiting behind the one in the socket buffer."""
+        return sum(1 for msg in self.queue[1:] if msg.is_block)
+
+    def queued_bytes(self):
+        total = sum(msg.size + MESSAGE_HEADER_BYTES for msg in self.queue)
+        if self.queue:
+            # Subtract what the head message already transmitted.
+            head_size = self.queue[0].size + MESSAGE_HEADER_BYTES
+            total -= head_size - self.head_remaining
+        return total
+
+    # -- sending --------------------------------------------------------------
+
+    def enqueue(self, message):
+        if self.closed:
+            raise RuntimeError("send on closed channel")
+        now = self.network.sim.now
+        message._enqueued_at = now
+        if message.is_block:
+            if not self.queue and self.idle_since is not None:
+                # The pipe sat idle: report the (negative) idle gap.
+                message.wasted = -(now - self.idle_since)
+                message.in_front = 0
+            else:
+                # Positive "service time" is filled in when transmission
+                # begins (_start_head); in_front counts blocks ahead of
+                # the socket buffer right now.
+                message.wasted = 0.0
+                message.in_front = self.queued_block_count() + (
+                    1 if self.queue else 0
+                )
+        self.queue.append(message)
+        if len(self.queue) == 1:
+            self._start_head()
+
+    def _start_head(self):
+        message = self.queue[0]
+        now = self.network.sim.now
+        self.idle_since = None
+        self.head_started_tx = now
+        if message.is_block and message._enqueued_at is not None:
+            wait = now - message._enqueued_at
+            if wait > 0 and message.wasted >= 0:
+                message.wasted = wait
+        self.head_remaining = float(message.size + MESSAGE_HEADER_BYTES)
+        self.last_advance = now
+        self.network.flows.activate(self.flow)
+        self._reschedule()
+
+    def _advance_progress(self, rate=None):
+        now = self.network.sim.now
+        if rate is None:
+            rate = self.flow.rate
+        if self.queue and rate > 0:
+            self.head_remaining -= rate * (now - self.last_advance)
+            if self.head_remaining < 0:
+                self.head_remaining = 0.0
+        self.last_advance = now
+
+    def _rate_changed(self, _flow, old_rate):
+        self._advance_progress(rate=old_rate)
+        self._reschedule()
+
+    def _reschedule(self):
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if not self.queue:
+            return
+        if self.flow.rate <= 0:
+            return  # wait for the next reallocation to assign a rate
+        delay = self.head_remaining / self.flow.rate
+        self._event = self.network.sim.schedule(delay, self._head_transmitted)
+
+    def _head_transmitted(self):
+        self._event = None
+        self._advance_progress()
+        if not self.queue:
+            return
+        message = self.queue.pop(0)
+        self.bytes_sent += message.size + MESSAGE_HEADER_BYTES
+        self._deliver_later(message)
+        if self.queue:
+            self._start_head()
+        else:
+            self.network.flows.deactivate(self.flow)
+            self.idle_since = self.network.sim.now
+        conn = self.connection
+        if conn.on_sent is not None and not conn.closed:
+            conn.on_sent(conn, message)
+
+    def _deliver_later(self, message):
+        delay = self.prop_delay
+        if not message.is_block and self.flow.loss > 0:
+            # Control messages on lossy paths occasionally wait out a
+            # retransmission timeout; blocks already pay for loss through
+            # the Mathis rate cap.
+            if self.network.rng.random() < self.flow.loss:
+                delay += self.flow.rto
+        self.network.sim.schedule(
+            delay, lambda: self.connection._deliver(message)
+        )
+
+    def close(self):
+        self.closed = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        if self.queue:
+            self.queue.clear()
+            self.network.flows.deactivate(self.flow)
+        self.flow.on_rate_change = None
+
+
+class Connection:
+    """A node's view of one established bidirectional connection."""
+
+    __slots__ = (
+        "endpoint",
+        "local",
+        "remote",
+        "_out_channel",
+        "_twin",
+        "on_message",
+        "on_sent",
+        "on_close",
+        "closed",
+        "bytes_received",
+        "blocks_received",
+        "control_bytes_sent",
+        "user",
+    )
+
+    def __init__(self, endpoint, local, remote):
+        self.endpoint = endpoint
+        self.local = local
+        self.remote = remote
+        self._out_channel = None
+        self._twin = None
+        self.on_message = None
+        #: ``on_sent(conn, message)`` fires each time a message finishes
+        #: transmission (push senders use it to keep pipes primed without
+        #: polling).
+        self.on_sent = None
+        self.on_close = None
+        self.closed = False
+        self.bytes_received = 0
+        self.blocks_received = 0
+        self.control_bytes_sent = 0
+        #: Free slot for protocol per-connection state.
+        self.user = None
+
+    def send(self, message):
+        """Queue ``message`` for transmission to the remote node."""
+        if self.closed:
+            return False
+        if not message.is_block:
+            self.control_bytes_sent += message.size + MESSAGE_HEADER_BYTES
+        self._out_channel.enqueue(message)
+        return True
+
+    def _deliver(self, message):
+        twin = self._twin
+        if twin is None or twin.closed:
+            return
+        twin.bytes_received += message.size + MESSAGE_HEADER_BYTES
+        if message.is_block:
+            twin.blocks_received += 1
+        if twin.on_message is not None:
+            twin.on_message(twin, message)
+
+    # -- sender-queue accounting exposed to Bullet' --------------------------
+
+    @property
+    def bytes_sent(self):
+        """Total bytes fully transmitted on the outbound channel."""
+        return self._out_channel.bytes_sent
+
+    @property
+    def send_queue_blocks(self):
+        """Blocks queued on the outbound channel (including in transit)."""
+        channel = self._out_channel
+        return sum(1 for msg in channel.queue if msg.is_block)
+
+    @property
+    def send_rate(self):
+        """Instantaneous allocated outbound rate in bytes/second."""
+        return self._out_channel.flow.rate
+
+    @property
+    def rtt(self):
+        return self._out_channel.flow.rtt
+
+    def close(self):
+        """Tear the connection down; the peer sees ``on_close`` after the
+        one-way propagation delay."""
+        if self.closed:
+            return
+        self.closed = True
+        self._out_channel.close()
+        self.endpoint._forget(self)
+        twin = self._twin
+        if twin is not None and not twin.closed:
+            self.endpoint.network.sim.schedule(
+                self._out_channel.prop_delay, twin._remote_closed
+            )
+
+    def _remote_closed(self):
+        if self.closed:
+            return
+        self.closed = True
+        self._out_channel.close()
+        self.endpoint._forget(self)
+        if self.on_close is not None:
+            self.on_close(self)
+
+    def __repr__(self):
+        return f"Connection({self.local}->{self.remote}, closed={self.closed})"
+
+
+class Endpoint:
+    """Per-node connection factory and acceptor."""
+
+    def __init__(self, network, node_id):
+        self.network = network
+        self.node_id = node_id
+        #: ``on_accept(connection)`` is invoked when a remote node's
+        #: connect completes; protocols assign it before starting.
+        self.on_accept = None
+        self.connections = set()
+
+    def connect(self, remote_id, on_connect):
+        """Open a connection to ``remote_id``.
+
+        ``on_connect(connection)`` fires on the local node after one RTT
+        (the TCP handshake); the remote's ``on_accept`` fires at the same
+        simulated time.
+        """
+        if remote_id == self.node_id:
+            raise ValueError(f"node {self.node_id} cannot connect to itself")
+        network = self.network
+        rtt = network.topology.rtt(self.node_id, remote_id)
+
+        def established():
+            local_conn, remote_conn = network._make_connection_pair(
+                self.node_id, remote_id
+            )
+            on_connect(local_conn)
+            remote_end = network.endpoint(remote_id)
+            if remote_end.on_accept is not None:
+                remote_end.on_accept(remote_conn)
+
+        network.sim.schedule(rtt, established)
+
+    def _forget(self, connection):
+        self.connections.discard(connection)
+
+
+class Network:
+    """Binds the topology, the flow allocator and all endpoints together."""
+
+    def __init__(self, sim, topology, flows=None, rng=None):
+        self.sim = sim
+        self.topology = topology
+        if flows is None:
+            from repro.sim.tcp import FlowNetwork
+
+            flows = FlowNetwork(sim)
+        self.flows = flows
+        if rng is None:
+            import random
+
+            rng = random.Random(0)
+        self.rng = rng
+        self._endpoints = {}
+        self._conn_counter = 0
+
+    def endpoint(self, node_id):
+        if node_id not in self._endpoints:
+            if node_id not in self.topology.nodes:
+                raise KeyError(f"unknown node {node_id!r}")
+            self._endpoints[node_id] = Endpoint(self, node_id)
+        return self._endpoints[node_id]
+
+    def _make_connection_pair(self, a, b):
+        conn_ab = Connection(self.endpoint(a), a, b)
+        conn_ba = Connection(self.endpoint(b), b, a)
+        conn_ab._twin = conn_ba
+        conn_ba._twin = conn_ab
+        self._conn_counter += 1
+        path_ab = self.topology.path(a, b)
+        path_ba = self.topology.path(b, a)
+        flow_ab = self.flows.new_flow(f"{a}->{b}#{self._conn_counter}", path_ab)
+        flow_ba = self.flows.new_flow(f"{b}->{a}#{self._conn_counter}", path_ba)
+        delay_ab = sum(link.delay for link in path_ab)
+        delay_ba = sum(link.delay for link in path_ba)
+        conn_ab._out_channel = Channel(self, conn_ab, flow_ab, delay_ab)
+        conn_ba._out_channel = Channel(self, conn_ba, flow_ba, delay_ba)
+        self.endpoint(a).connections.add(conn_ab)
+        self.endpoint(b).connections.add(conn_ba)
+        return conn_ab, conn_ba

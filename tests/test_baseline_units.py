@@ -1,0 +1,109 @@
+"""Unit tests for baseline-system building blocks."""
+
+import pytest
+
+from repro.baselines.bittorrent import Tracker
+from repro.baselines.splitstream import build_stripe_forest
+from repro.sim.engine import Simulator
+
+
+class TestTracker:
+    def test_announce_returns_other_peers(self):
+        sim = Simulator()
+        tracker = Tracker(seed=1, response_peers=5)
+        got = {}
+        for node in range(8):
+            tracker.announce(sim, node, lambda peers, n=node: got.__setitem__(n, peers))
+        sim.run()
+        assert got[7]
+        assert 7 not in got[7]
+        assert len(got[7]) <= 5
+
+    def test_response_latency(self):
+        sim = Simulator()
+        tracker = Tracker(seed=1, latency=0.25)
+        times = []
+        tracker.announce(sim, 0, lambda peers: times.append(sim.now))
+        sim.run()
+        assert times == [0.25]
+
+    def test_swarm_grows(self):
+        sim = Simulator()
+        tracker = Tracker(seed=1)
+        for node in range(5):
+            tracker.announce(sim, node, lambda peers: None)
+        sim.run()
+        assert sorted(tracker.swarm) == list(range(5))
+        assert tracker.announces == 5
+
+    def test_reannounce_not_duplicated(self):
+        sim = Simulator()
+        tracker = Tracker(seed=1)
+        tracker.announce(sim, 0, lambda peers: None)
+        tracker.announce(sim, 0, lambda peers: None)
+        sim.run()
+        assert tracker.swarm == [0]
+
+
+class TestStripeForest:
+    def _forest(self, n=40, k=8, fanout=6, seed=3):
+        nodes = list(range(n))
+        return nodes, build_stripe_forest(nodes, 0, k, fanout, seed=seed)
+
+    def test_every_stripe_has_a_tree(self):
+        _nodes, forest = self._forest()
+        assert sorted(forest) == list(range(8))
+
+    def test_every_node_in_every_stripe(self):
+        nodes, forest = self._forest()
+        for stripe, tree in forest.items():
+            members = {0}
+            for parent, kids in tree.items():
+                members.update(kids)
+            assert members == set(nodes), f"stripe {stripe} misses nodes"
+
+    def test_fanout_respected(self):
+        _nodes, forest = self._forest(fanout=4)
+        for tree in forest.values():
+            for parent, kids in tree.items():
+                assert len(kids) <= max(4, 2)
+
+    def test_interior_ownership_disjoint(self):
+        # A node with >= fanout-many children (a true interior) in one
+        # stripe should rarely be interior elsewhere; round-robin
+        # ownership guarantees owners are stripe-disjoint.
+        nodes, forest = self._forest(n=33, k=8)
+        others = [n for n in nodes if n != 0]
+        for stripe, tree in forest.items():
+            owners = [
+                n for i, n in enumerate(others) if i % 8 == stripe
+            ]
+            for other_stripe in range(8):
+                if other_stripe == stripe:
+                    continue
+                other_owners = [
+                    n for i, n in enumerate(others) if i % 8 == other_stripe
+                ]
+                assert not set(owners) & set(other_owners)
+
+    def test_trees_are_acyclic_and_rooted(self):
+        _nodes, forest = self._forest()
+        for stripe, tree in forest.items():
+            parent_of = {}
+            for parent, kids in tree.items():
+                for kid in kids:
+                    assert kid not in parent_of, f"node {kid} has two parents"
+                    parent_of[kid] = parent
+            # Walk up from every node; must reach the source without loops.
+            for node in parent_of:
+                seen = set()
+                at = node
+                while at != 0:
+                    assert at not in seen
+                    seen.add(at)
+                    at = parent_of[at]
+
+    def test_deterministic(self):
+        _n1, f1 = self._forest(seed=9)
+        _n2, f2 = self._forest(seed=9)
+        assert f1 == f2

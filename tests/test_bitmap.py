@@ -1,0 +1,126 @@
+"""Unit and property tests for BlockBitmap."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitmap import BlockBitmap
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        bitmap = BlockBitmap(16)
+        assert len(bitmap) == 0
+        assert not bitmap.is_complete
+        assert list(bitmap) == []
+
+    def test_add_and_contains(self):
+        bitmap = BlockBitmap(16)
+        bitmap.add(3)
+        assert 3 in bitmap
+        assert 4 not in bitmap
+        assert len(bitmap) == 1
+
+    def test_add_idempotent(self):
+        bitmap = BlockBitmap(8)
+        bitmap.add(5)
+        bitmap.add(5)
+        assert len(bitmap) == 1
+
+    def test_discard(self):
+        bitmap = BlockBitmap(8, [1, 2])
+        bitmap.discard(1)
+        assert 1 not in bitmap
+        bitmap.discard(1)  # no error on absent
+        assert len(bitmap) == 1
+
+    def test_constructor_with_blocks(self):
+        bitmap = BlockBitmap(10, [0, 9, 4])
+        assert sorted(bitmap) == [0, 4, 9]
+
+    def test_out_of_range_rejected(self):
+        bitmap = BlockBitmap(4)
+        with pytest.raises(IndexError):
+            bitmap.add(4)
+        with pytest.raises(IndexError):
+            bitmap.add(-1)
+
+    def test_negative_universe_rejected(self):
+        with pytest.raises(ValueError):
+            BlockBitmap(-1)
+
+    def test_contains_out_of_range_is_false(self):
+        bitmap = BlockBitmap(4, [0])
+        assert 10 not in bitmap
+        assert -1 not in bitmap
+
+    def test_is_complete(self):
+        bitmap = BlockBitmap(3, [0, 1, 2])
+        assert bitmap.is_complete
+
+    def test_empty_universe_is_complete(self):
+        assert BlockBitmap(0).is_complete
+
+    def test_iteration_order_ascending(self):
+        bitmap = BlockBitmap(64, [40, 3, 17])
+        assert list(bitmap) == [3, 17, 40]
+
+    def test_equality(self):
+        assert BlockBitmap(8, [1, 2]) == BlockBitmap(8, [2, 1])
+        assert BlockBitmap(8, [1]) != BlockBitmap(8, [2])
+        assert BlockBitmap(8) != BlockBitmap(9)
+
+    def test_copy_is_independent(self):
+        a = BlockBitmap(8, [1])
+        b = a.copy()
+        b.add(2)
+        assert 2 not in a
+
+
+class TestSetOperations:
+    def test_union(self):
+        a = BlockBitmap(8, [1, 2])
+        b = BlockBitmap(8, [2, 3])
+        assert sorted(a.union(b)) == [1, 2, 3]
+
+    def test_difference(self):
+        a = BlockBitmap(8, [1, 2, 3])
+        b = BlockBitmap(8, [2])
+        assert sorted(a.difference(b)) == [1, 3]
+
+    def test_intersection(self):
+        a = BlockBitmap(8, [1, 2, 3])
+        b = BlockBitmap(8, [2, 3, 4])
+        assert sorted(a.intersection(b)) == [2, 3]
+
+    def test_update(self):
+        a = BlockBitmap(8, [1])
+        a.update(BlockBitmap(8, [2, 3]))
+        assert sorted(a) == [1, 2, 3]
+
+    def test_missing(self):
+        a = BlockBitmap(4, [0, 2])
+        assert sorted(a.missing()) == [1, 3]
+
+    def test_incompatible_universes_rejected(self):
+        with pytest.raises(ValueError):
+            BlockBitmap(4).union(BlockBitmap(5))
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=127)),
+    st.sets(st.integers(min_value=0, max_value=127)),
+)
+def test_set_semantics_match_python_sets(xs, ys):
+    a = BlockBitmap(128, xs)
+    b = BlockBitmap(128, ys)
+    assert set(a.union(b)) == xs | ys
+    assert set(a.difference(b)) == xs - ys
+    assert set(a.intersection(b)) == xs & ys
+    assert len(a) == len(xs)
+
+
+@given(st.sets(st.integers(min_value=0, max_value=63)))
+def test_missing_is_complement(xs):
+    a = BlockBitmap(64, xs)
+    assert set(a.missing()) == set(range(64)) - xs
+    assert a.union(a.missing()).is_complete

@@ -1,0 +1,25 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_cli_runs_one_figure(capsys):
+    code = main(["fig6", "--nodes", "8", "--blocks", "24", "--seed", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "fig6" in out
+    assert "rarest_random" in out
+
+
+def test_cli_rejects_unknown_figure():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_cli_scale_flags_ignored_where_inapplicable(capsys):
+    # fig12 fixes its own topology; --nodes must not break it.
+    code = main(["fig12", "--nodes", "8", "--blocks", "96", "--seed", "1"])
+    assert code == 0
+    assert "fig12" in capsys.readouterr().out

@@ -1,0 +1,181 @@
+"""Tests for the LT rateless codes (paper section 2.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codec.lt import EncodedBlock, LtDecoder, LtEncoder
+from repro.codec.segments import SegmentedDecoder, SegmentedEncoder
+from repro.codec.soliton import ideal_soliton, robust_soliton, sample_degree
+from repro.common.rng import split_rng
+from repro.core.download import FileObject
+
+
+class TestSoliton:
+    def test_ideal_sums_to_one(self):
+        for k in (1, 2, 10, 100):
+            assert sum(ideal_soliton(k)) == pytest.approx(1.0)
+
+    def test_robust_sums_to_one(self):
+        for k in (1, 5, 50, 500):
+            assert sum(robust_soliton(k)) == pytest.approx(1.0)
+
+    def test_robust_boosts_degree_one(self):
+        k = 100
+        ideal = ideal_soliton(k)
+        robust = robust_soliton(k)
+        assert robust[1] > ideal[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ideal_soliton(0)
+        with pytest.raises(ValueError):
+            robust_soliton(10, delta=1.5)
+        with pytest.raises(ValueError):
+            robust_soliton(10, c=0)
+
+    def test_sample_degree_in_range(self):
+        pmf = robust_soliton(50)
+        rng = split_rng(0, "deg")
+        degrees = [sample_degree(pmf, rng) for _ in range(500)]
+        assert all(1 <= d <= 50 for d in degrees)
+        assert min(degrees) == 1  # degree-1 blocks must occur
+
+    def test_mean_degree_logarithmic(self):
+        pmf = robust_soliton(200)
+        rng = split_rng(1, "deg")
+        degrees = [sample_degree(pmf, rng) for _ in range(2000)]
+        mean = sum(degrees) / len(degrees)
+        assert 2.0 < mean < 25.0  # O(log k), far below k
+
+
+def _blocks(k, size=64, seed=0):
+    fo = FileObject.synthetic(k * size, size, seed=seed)
+    return [fo.block(i) for i in range(k)]
+
+
+class TestLtRoundTrip:
+    def test_encode_validates(self):
+        with pytest.raises(ValueError):
+            LtEncoder([])
+        with pytest.raises(ValueError):
+            LtEncoder([b"ab", b"abc"])
+
+    def test_round_trip_small(self):
+        blocks = _blocks(20)
+        encoder = LtEncoder(blocks, seed=1)
+        decoder = LtDecoder(20, 64)
+        for encoded in encoder.stream(200):
+            decoder.add(encoded)
+            if decoder.complete:
+                break
+        assert decoder.complete
+        assert decoder.reconstruct() == b"".join(blocks)
+
+    def test_overhead_is_small(self):
+        blocks = _blocks(100)
+        encoder = LtEncoder(blocks, seed=2)
+        decoder = LtDecoder(100, 64)
+        for encoded in encoder.stream(400):
+            decoder.add(encoded)
+            if decoder.complete:
+                break
+        assert decoder.complete
+        # The paper quotes ~4%; LT at k=100 typically needs 10-40%.
+        assert decoder.overhead() < 0.6
+
+    def test_progress_cascades_late(self):
+        """Little reconstruction progress until nearly enough blocks have
+        arrived (the paper: 'even with n received blocks, only ~30% of
+        the file can be reconstructed')."""
+        k = 100
+        blocks = _blocks(k)
+        encoder = LtEncoder(blocks, seed=3)
+        decoder = LtDecoder(k, 64)
+        decoded_at_half = None
+        for i, encoded in enumerate(encoder.stream(500), start=1):
+            decoder.add(encoded)
+            if i == k // 2:
+                decoded_at_half = decoder.decoded_count
+            if decoder.complete:
+                break
+        assert decoder.complete
+        assert decoded_at_half < k // 2  # half the blocks decode < half the file
+
+    def test_duplicate_seeds_ignored(self):
+        blocks = _blocks(10)
+        encoder = LtEncoder(blocks, seed=4)
+        decoder = LtDecoder(10, 64)
+        block = encoder.encode(seed=123)
+        decoder.add(block)
+        fed_before = decoder.blocks_fed
+        decoder.add(EncodedBlock(123, block.data))
+        assert decoder.blocks_fed == fed_before
+        assert 123 in decoder.duplicate_seeds
+
+    def test_incomplete_reconstruct_raises(self):
+        decoder = LtDecoder(10, 64)
+        with pytest.raises(RuntimeError, match="incomplete"):
+            decoder.reconstruct()
+
+    def test_memory_discipline_pending_released(self):
+        """Encoded blocks are dropped once fully peeled (the paper's
+        memory-efficient footnote)."""
+        blocks = _blocks(30)
+        encoder = LtEncoder(blocks, seed=5)
+        decoder = LtDecoder(30, 64)
+        for encoded in encoder.stream(300):
+            decoder.add(encoded)
+            if decoder.complete:
+                break
+        assert decoder.complete
+        assert len(decoder._pending) == 0
+
+    @settings(deadline=None, max_examples=10)
+    @given(
+        k=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_round_trip_property(self, k, seed):
+        blocks = _blocks(k, size=32, seed=seed)
+        encoder = LtEncoder(blocks, seed=seed)
+        decoder = LtDecoder(k, 32)
+        for encoded in encoder.stream(k * 10 + 50):
+            decoder.add(encoded)
+            if decoder.complete:
+                break
+        assert decoder.complete
+        assert decoder.reconstruct() == b"".join(blocks)
+
+
+class TestSegmented:
+    def test_round_trip_multi_segment(self):
+        data = FileObject.synthetic(10_000, 100, seed=7).data
+        encoder = SegmentedEncoder(data, block_len=100, blocks_per_segment=40)
+        decoder = SegmentedDecoder(len(data), 100, 40)
+        assert encoder.num_segments == decoder.num_segments == 3
+        segment = 0
+        while not decoder.complete:
+            for segment in decoder.incomplete_segments():
+                decoder.add(segment, encoder.encode(segment))
+        assert decoder.reconstruct() == data
+
+    def test_incomplete_segments_shrink(self):
+        data = FileObject.synthetic(4_000, 100, seed=8).data
+        encoder = SegmentedEncoder(data, block_len=100, blocks_per_segment=20)
+        decoder = SegmentedDecoder(len(data), 100, 20)
+        assert decoder.incomplete_segments() == [0, 1]
+        while 0 in decoder.incomplete_segments():
+            decoder.add(0, encoder.encode(0))
+        assert decoder.incomplete_segments() == [1]
+
+    def test_overhead_accounting(self):
+        data = FileObject.synthetic(2_000, 100, seed=9).data
+        encoder = SegmentedEncoder(data, block_len=100, blocks_per_segment=20)
+        decoder = SegmentedDecoder(len(data), 100, 20)
+        while not decoder.complete:
+            decoder.add(0, encoder.encode(0))
+        assert decoder.overhead() >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SegmentedEncoder(b"x", 1, 0)

@@ -1,0 +1,163 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        order = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.5]
+        assert sim.now == 2.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, lambda: seen.append(("inner", sim.now)))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, lambda: fired.append(1))
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        sim.run()
+
+
+class TestRunUntil:
+    def test_until_bounds_execution(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_until_advances_clock_when_heap_drains(self):
+        sim = Simulator()
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        sim.run()
+        assert fired == [5]
+
+    def test_stop(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+
+class TestPeriodic:
+    def test_periodic_fires_until_false(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            return count[0] < 3
+
+        sim.schedule_periodic(1.0, tick)
+        sim.run(until=10.0)
+        assert count[0] == 3
+
+    def test_periodic_cancel(self):
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            return True
+
+        handle = sim.schedule_periodic(1.0, tick)
+        sim.schedule(2.5, handle.cancel)
+        sim.run(until=10.0)
+        assert count[0] == 2
+
+    def test_invalid_period_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_periodic(0.0, lambda: True)
+
+    def test_jittered_period_stays_within_band(self):
+        import random
+
+        sim = Simulator()
+        times = []
+
+        def tick():
+            times.append(sim.now)
+            return len(times) < 20
+
+        sim.schedule_periodic(1.0, tick, jitter_rng=random.Random(0))
+        sim.run(until=100.0)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(0.89 <= g <= 1.11 for g in gaps)
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    sim.schedule(1.0, reenter)
+    sim.run()

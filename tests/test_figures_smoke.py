@@ -1,0 +1,50 @@
+"""Small-scale smoke tests for every figure runner.
+
+Each paper figure's entry point must run end-to-end at tiny scale and
+produce a well-formed :class:`FigureData`; the qualitative assertions
+live in the benchmarks, which run at the scale where the paper's
+effects separate.
+"""
+
+import pytest
+
+from repro.harness import figures
+
+
+@pytest.mark.parametrize(
+    "fn,kwargs",
+    [
+        (figures.fig4_overall_static, dict(num_nodes=8, num_blocks=24)),
+        (figures.fig5_overall_dynamic, dict(num_nodes=8, num_blocks=24)),
+        (figures.fig6_request_strategies, dict(num_nodes=8, num_blocks=24)),
+        (figures.fig7_peer_sets_static_loss, dict(num_nodes=8, num_blocks=24)),
+        (figures.fig8_peer_sets_dynamic, dict(num_nodes=8, num_blocks=24)),
+        (figures.fig9_peer_sets_constrained, dict(num_nodes=8, num_blocks=16)),
+        (figures.fig10_outstanding_clean, dict(num_nodes=8, num_blocks=24)),
+        (figures.fig11_outstanding_lossy, dict(num_nodes=8, num_blocks=24)),
+        (figures.fig12_outstanding_cascading, dict(num_blocks=48)),
+        (figures.fig13_interarrival, dict(num_nodes=8, num_blocks=24)),
+        (figures.fig14_planetlab, dict(num_nodes=8, num_blocks=24)),
+        (figures.fig15_shotgun, dict(num_nodes=8, scale=0.02)),
+    ],
+)
+def test_figure_runs(fn, kwargs):
+    fig = fn(seed=1, **kwargs)
+    assert fig.series, f"{fig.figure_id} produced no series"
+    for label, samples in fig.series.items():
+        assert samples, f"{fig.figure_id}/{label} empty"
+        assert all(s >= 0 for s in samples)
+    text = fig.render()
+    assert fig.figure_id in text
+
+
+def test_fig13_scalars_present():
+    fig = figures.fig13_interarrival(num_nodes=8, num_blocks=24, seed=1)
+    assert "last-20-blocks overage (s)" in fig.scalars
+    assert "4% encoding overhead cost (s)" in fig.scalars
+
+
+def test_fig12_reports_throttled_node_only():
+    fig = figures.fig12_outstanding_cascading(num_blocks=48, seed=1)
+    for label, samples in fig.series.items():
+        assert len(samples) == 1, "fig12 series must be the 8th node only"

@@ -1,0 +1,144 @@
+"""Tests for the XCP-style outstanding-request controller (Figure 3)."""
+
+import pytest
+
+from repro.core.flow_control import ALPHA, BETA, OutstandingController
+
+
+def _controller(**kwargs):
+    return OutstandingController(block_size=16 * 1024, **kwargs)
+
+
+class TestBasics:
+    def test_initial_pipeline_of_three(self):
+        assert _controller().limit == 3
+
+    def test_block_size_validated(self):
+        with pytest.raises(ValueError):
+            OutstandingController(block_size=0)
+
+    def test_limit_is_ceiling(self):
+        ctl = _controller()
+        ctl.desired = 3.2
+        assert ctl.limit == 4
+
+
+class TestBandwidthEstimate:
+    def test_first_arrival_sets_nothing(self):
+        ctl = _controller()
+        ctl.observe_arrival(1.0, 16 * 1024)
+        assert ctl.bandwidth == 0.0
+
+    def test_rate_from_gap(self):
+        ctl = _controller()
+        ctl.observe_arrival(1.0, 16 * 1024)
+        ctl.observe_arrival(2.0, 16 * 1024)
+        assert ctl.bandwidth == pytest.approx(16 * 1024)
+
+    def test_ewma_smooths(self):
+        ctl = _controller()
+        ctl.observe_arrival(0.0, 16 * 1024)
+        ctl.observe_arrival(1.0, 16 * 1024)
+        first = ctl.bandwidth
+        ctl.observe_arrival(1.1, 16 * 1024)  # 10x faster sample
+        assert first < ctl.bandwidth < 16 * 1024 * 10
+
+
+class TestControllerSteps:
+    def test_idle_pipe_increases_desired(self):
+        ctl = _controller()
+        ctl.bandwidth = 64 * 1024  # 4 blocks/s
+        changed = ctl.block_arrived(requested=3, in_front=0, wasted=-2.0, marked=False)
+        assert changed
+        # desired = 3+1 + alpha*2*4 = 4 + 3.2 -> ceil on increase
+        assert ctl.desired == pytest.approx(8)
+
+    def test_service_time_decreases_desired(self):
+        ctl = _controller()
+        ctl.desired = 10.0
+        ctl.bandwidth = 64 * 1024
+        changed = ctl.block_arrived(requested=10, in_front=1, wasted=1.0, marked=False)
+        assert changed
+        # desired = 11 - alpha*1*4 = 9.4 (decrease: no ceiling)
+        assert ctl.desired == pytest.approx(11 - ALPHA * 4)
+
+    def test_queue_depth_decreases_desired(self):
+        # A deep sender-side queue (in_front >> 1) must pull desired below
+        # its current value; small beta corrections that stay above the
+        # current value are ceilinged away (increase rule), so use a
+        # queue deep enough for the beta term to dominate the +1.
+        ctl = _controller()
+        ctl.desired = 10.0
+        changed = ctl.block_arrived(requested=10, in_front=9, wasted=0.0, marked=False)
+        assert changed
+        assert ctl.desired == pytest.approx(11 - BETA * 8)
+        assert ctl.desired < 10.0
+
+    def test_neutral_case_tracks_requested_plus_one(self):
+        # wasted > 0 and in_front > 1: neither branch fires.
+        ctl = _controller()
+        ctl.desired = 5.0
+        ctl.block_arrived(requested=5, in_front=3, wasted=0.5, marked=False)
+        assert ctl.desired == pytest.approx(6.0)
+
+    def test_clamped_to_bounds(self):
+        ctl = _controller(min_outstanding=1, max_outstanding=20)
+        ctl.bandwidth = 1e9
+        ctl.block_arrived(requested=3, in_front=0, wasted=-100.0, marked=True)
+        assert ctl.desired <= 20
+        ctl2 = _controller(min_outstanding=2, max_outstanding=20)
+        ctl2.bandwidth = 1e9
+        ctl2.block_arrived(requested=3, in_front=1, wasted=100.0, marked=True)
+        assert ctl2.desired >= 2
+
+
+class TestMarkingHysteresis:
+    def test_no_adjustment_until_marked_arrives(self):
+        ctl = _controller()
+        ctl.bandwidth = 64 * 1024
+        assert ctl.block_arrived(3, 0, -2.0, marked=False)  # change -> mark
+        before = ctl.desired
+        assert not ctl.block_arrived(3, 0, -2.0, marked=False)  # suppressed
+        assert ctl.desired == before
+        assert ctl.block_arrived(3, 0, -2.0, marked=True)  # marked arrives
+        # The controller re-bases on requested+1 each step (Figure 3), so
+        # with the same inputs the same target is recomputed.
+        assert ctl.desired == pytest.approx(3 + 1 + ALPHA * 2.0 * 4)
+
+    def test_unchanged_desired_does_not_mark(self):
+        ctl = _controller()
+        ctl.desired = 4.0
+        changed = ctl.block_arrived(3, 1, 0.0, marked=False)
+        assert not changed
+        # Controller remains responsive.
+        ctl.bandwidth = 64 * 1024
+        assert ctl.block_arrived(3, 0, -5.0, marked=False)
+
+
+class TestConvergenceScenario:
+    def test_converges_down_under_persistent_queueing(self):
+        """A sender whose queue keeps growing must push desired down."""
+        ctl = _controller()
+        ctl.desired = 30.0
+        ctl.bandwidth = 32 * 1024
+        marked = True
+        for _ in range(50):
+            # The queue depth the sender reports scales with what we keep
+            # outstanding; the controller must walk the limit down.
+            in_front = max(2, ctl.limit - 2)
+            changed = ctl.block_arrived(
+                requested=int(ctl.limit), in_front=in_front, wasted=0.0, marked=marked
+            )
+            marked = changed  # next marked block arrives immediately
+        assert ctl.desired < 15
+
+    def test_grows_under_persistent_idleness(self):
+        ctl = _controller()
+        ctl.bandwidth = 160 * 1024  # 10 blocks/s
+        marked = True
+        for _ in range(20):
+            changed = ctl.block_arrived(
+                requested=int(ctl.limit), in_front=0, wasted=-0.5, marked=marked
+            )
+            marked = changed
+        assert ctl.desired > 10

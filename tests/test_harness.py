@@ -1,0 +1,100 @@
+"""Tests for the harness: report rendering, workloads, figure registry."""
+
+import pytest
+
+from repro.harness.figures import FIGURES, run_figure
+from repro.harness.report import FigureData
+from repro.harness.workloads import flash_crowd_file, software_update_workload
+
+
+class TestFigureData:
+    def _fig(self):
+        fig = FigureData("figX", "a test figure", reference="fast")
+        fig.add_series("fast", [1.0, 2.0, 3.0])
+        fig.add_series("slow", [2.0, 4.0, 6.0])
+        return fig
+
+    def test_empty_series_rejected(self):
+        fig = FigureData("figX", "t")
+        with pytest.raises(ValueError):
+            fig.add_series("x", [])
+
+    def test_median_speedup(self):
+        fig = self._fig()
+        # fast median 2, slow median 4 -> slow is 50% slower.
+        assert fig.median_speedup("slow") == pytest.approx(0.5)
+
+    def test_worst_speedup(self):
+        fig = self._fig()
+        assert fig.worst_speedup("slow") == pytest.approx(0.5)
+
+    def test_render_contains_everything(self):
+        fig = self._fig()
+        fig.add_scalar("a scalar", 4.25)
+        fig.notes.append("a note")
+        text = fig.render()
+        assert "figX" in text
+        assert "fast" in text and "slow" in text
+        assert "a scalar: 4.25" in text
+        assert "note: a note" in text
+        assert "p50" in text
+
+    def test_cdf_accessor(self):
+        fig = self._fig()
+        assert fig.cdf("fast").median == 2.0
+
+
+class TestWorkloads:
+    def test_flash_crowd_file(self):
+        fo = flash_crowd_file(10_000, 512, seed=1)
+        assert fo.num_blocks == 20
+
+    def test_update_workload_fractions(self):
+        old, new = software_update_workload(
+            100_000, delta_fraction=0.0, seed=1
+        )
+        assert old == new
+        old, new = software_update_workload(
+            100_000, delta_fraction=1.0, seed=1
+        )
+        changed = sum(
+            1
+            for i in range(0, 100_000, 4096)
+            if old[i : i + 4096] != new[i : i + 4096]
+        )
+        assert changed == len(range(0, 100_000, 4096))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            software_update_workload(100, delta_fraction=1.5)
+
+    def test_sizes_preserved(self):
+        old, new = software_update_workload(50_000, seed=2)
+        assert len(old) == len(new) == 50_000
+
+
+class TestFigureRegistry:
+    def test_all_twelve_registered(self):
+        assert sorted(FIGURES) == [
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+        ]
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="fig99"):
+            run_figure("fig99")
+
+    def test_run_figure_small(self):
+        fig = run_figure("fig6", num_nodes=8, num_blocks=24, seed=1)
+        assert set(fig.series) == {"rarest_random", "random", "first"}
+        assert fig.render()

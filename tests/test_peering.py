@@ -1,0 +1,115 @@
+"""Tests for adaptive peer-set management (Figure 2 + 1.5-sigma prune)."""
+
+import pytest
+
+from repro.core.peering import PeerSetPolicy
+
+
+class TestValidation:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            PeerSetPolicy(initial=5, minimum=6, maximum=25)
+        with pytest.raises(ValueError):
+            PeerSetPolicy(initial=30, minimum=6, maximum=25)
+
+
+class TestManageSenders:
+    """The hill-climbing steps of Figure 2."""
+
+    def test_first_epoch_tries_new_peer(self):
+        policy = PeerSetPolicy(initial=10)
+        assert policy.manage(10, 100.0) == 11
+
+    def test_adding_helped_keep_adding(self):
+        policy = PeerSetPolicy(initial=10)
+        policy.manage(10, 100.0)  # -> 11 (no history)
+        assert policy.manage(11, 150.0) == 12  # more peers, more bw
+
+    def test_adding_hurt_back_off(self):
+        policy = PeerSetPolicy(initial=10)
+        policy.manage(10, 100.0)  # -> 11
+        assert policy.manage(11, 80.0) == 10  # more peers, less bw
+
+    def test_losing_peer_helped_keep_shrinking(self):
+        policy = PeerSetPolicy(initial=10)
+        policy.manage(10, 100.0)  # history: 10 @ 100 -> target 11
+        policy.manage(11, 80.0)  # history: 11 @ 80 -> target 10
+        assert policy.manage(10, 120.0) == 9  # fewer peers, more bw
+
+    def test_losing_peer_hurt_grow_back(self):
+        policy = PeerSetPolicy(initial=10)
+        policy.manage(10, 100.0)
+        policy.manage(11, 80.0)
+        assert policy.manage(10, 60.0) == 11  # fewer peers, less bw
+
+    def test_not_at_target_waits(self):
+        policy = PeerSetPolicy(initial=10)
+        assert policy.manage(7, 100.0) == 10  # connects in flight: no step
+
+    def test_clamped_to_limits(self):
+        policy = PeerSetPolicy(initial=6, minimum=6, maximum=8)
+        for bw in (100, 200, 300, 400, 500, 600):
+            target = policy.manage(policy.target, bw)
+        assert target <= 8
+
+    def test_static_mode_frozen(self):
+        policy = PeerSetPolicy(initial=10, adaptive=False)
+        for bw in (10, 1000, 5):
+            assert policy.manage(10, bw) == 10
+
+
+class TestPrune:
+    def test_outlier_dropped(self):
+        policy = PeerSetPolicy(initial=10, minimum=2)
+        scores = {f"p{i}": 100.0 for i in range(9)}
+        scores["slow"] = 1.0
+        assert policy.prune(scores) == ["slow"]
+
+    def test_uniform_scores_keep_everyone(self):
+        policy = PeerSetPolicy(initial=10, minimum=2)
+        scores = {f"p{i}": 100.0 for i in range(10)}
+        assert policy.prune(scores) == []
+
+    def test_legitimately_slow_network_not_pruned(self):
+        # All peers equally slow: no fixed bandwidth floor (section 3.3.1).
+        policy = PeerSetPolicy(initial=10, minimum=2)
+        scores = {f"p{i}": 0.5 for i in range(10)}
+        assert policy.prune(scores) == []
+
+    def test_never_below_minimum(self):
+        policy = PeerSetPolicy(initial=10, minimum=6)
+        scores = {f"p{i}": 100.0 for i in range(4)}
+        scores.update({f"slow{i}": 0.1 for i in range(3)})
+        doomed = policy.prune(scores)
+        assert len(scores) - len(doomed) >= 6
+
+    def test_static_mode_never_prunes(self):
+        policy = PeerSetPolicy(initial=10, adaptive=False, minimum=2)
+        scores = {"fast": 1000.0, "slow": 0.0, "other": 990.0, "x": 995.0}
+        assert policy.prune(scores) == []
+
+    def test_sigma_threshold_matters(self):
+        # One mildly slow peer inside 1.5 sigma survives.
+        policy = PeerSetPolicy(initial=10, minimum=2)
+        scores = {"a": 100.0, "b": 110.0, "c": 90.0, "d": 105.0, "e": 85.0}
+        assert policy.prune(scores) == []
+
+    def test_worst_first_ordering(self):
+        policy = PeerSetPolicy(initial=10, minimum=1)
+        scores = {f"p{i}": 100.0 for i in range(8)}
+        scores["bad"] = 2.0
+        scores["worse"] = 1.0
+        assert policy.prune(scores) == ["worse", "bad"]
+
+
+class TestOverTarget:
+    def test_excess_slowest_selected(self):
+        policy = PeerSetPolicy(initial=6, minimum=6)
+        policy.target = 6
+        scores = {f"p{i}": float(i) for i in range(8)}
+        assert set(policy.over_target(scores)) == {"p0", "p1"}
+
+    def test_at_target_nothing(self):
+        policy = PeerSetPolicy(initial=6)
+        scores = {f"p{i}": float(i) for i in range(6)}
+        assert policy.over_target(scores) == []

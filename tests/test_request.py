@@ -1,0 +1,179 @@
+"""Tests for the request strategies (paper section 3.3.2)."""
+
+import collections
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.rng import split_rng
+from repro.core.request import REQUEST_STRATEGIES, AvailabilityView
+
+
+def _view(strategy, seed=0, **kwargs):
+    return AvailabilityView(strategy, split_rng(seed, "test"), **kwargs)
+
+
+class TestBookkeeping:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            _view("fastest")
+
+    def test_duplicate_sender_rejected(self):
+        view = _view("random")
+        view.add_sender("s1")
+        with pytest.raises(KeyError):
+            view.add_sender("s1")
+
+    def test_learn_updates_rarity(self):
+        view = _view("random")
+        view.add_sender("s1")
+        view.add_sender("s2")
+        view.learn("s1", [1, 2])
+        view.learn("s2", [2, 3])
+        assert view.rarity == {1: 1, 2: 2, 3: 1}
+
+    def test_learn_is_idempotent_per_sender(self):
+        view = _view("random")
+        view.add_sender("s1")
+        view.learn("s1", [1])
+        view.learn("s1", [1])
+        assert view.rarity[1] == 1
+
+    def test_remove_sender_decrements_rarity(self):
+        view = _view("random")
+        view.add_sender("s1")
+        view.add_sender("s2")
+        view.learn("s1", [1, 2])
+        view.learn("s2", [2])
+        view.remove_sender("s1")
+        assert view.rarity == {2: 1}
+
+    def test_candidate_count(self):
+        view = _view("random")
+        view.add_sender("s1")
+        view.learn("s1", [1, 2, 3])
+        have = {2}
+        count = view.candidate_count("s1", lambda b: b not in have)
+        assert count == 2
+
+
+class TestPickSemantics:
+    @pytest.mark.parametrize("strategy", REQUEST_STRATEGIES)
+    def test_pick_exhausts_and_returns_none(self, strategy):
+        view = _view(strategy)
+        view.add_sender("s1")
+        view.learn("s1", [1, 2, 3])
+        picked = set()
+        for _ in range(3):
+            block = view.pick("s1", lambda b: True)
+            assert block is not None
+            picked.add(block)
+        assert picked == {1, 2, 3}
+        assert view.pick("s1", lambda b: True) is None
+
+    @pytest.mark.parametrize("strategy", REQUEST_STRATEGIES)
+    def test_pick_respects_useful(self, strategy):
+        view = _view(strategy)
+        view.add_sender("s1")
+        view.learn("s1", list(range(10)))
+        block = view.pick("s1", lambda b: b == 7)
+        assert block == 7
+
+    @pytest.mark.parametrize("strategy", REQUEST_STRATEGIES)
+    def test_nothing_useful_returns_none(self, strategy):
+        view = _view(strategy)
+        view.add_sender("s1")
+        view.learn("s1", [1, 2])
+        assert view.pick("s1", lambda b: False) is None
+
+
+class TestStrategyBehaviour:
+    def test_first_preserves_discovery_order(self):
+        view = _view("first")
+        view.add_sender("s1")
+        view.learn("s1", [5, 3, 8])
+        view.learn("s1", [1])
+        order = [view.pick("s1", lambda b: True) for _ in range(4)]
+        assert order == [5, 3, 8, 1]
+
+    def test_rarest_prefers_low_census(self):
+        view = _view("rarest")
+        for s in ("s1", "s2", "s3"):
+            view.add_sender(s)
+        view.learn("s1", [10, 20])
+        view.learn("s2", [10])
+        view.learn("s3", [10])
+        # Block 20 is advertised by one sender; block 10 by three.
+        assert view.pick("s1", lambda b: True) == 20
+
+    def test_rarest_deterministic_tie_break(self):
+        view = _view("rarest")
+        view.add_sender("s1")
+        view.learn("s1", [4, 2, 9])
+        assert view.pick("s1", lambda b: True) == 4  # first-discovered tie
+
+    def test_rarest_random_breaks_ties_randomly(self):
+        choices = collections.Counter()
+        for seed in range(60):
+            view = _view("rarest_random", seed=seed)
+            view.add_sender("s1")
+            view.learn("s1", [1, 2, 3])
+            choices[view.pick("s1", lambda b: True)] += 1
+        assert len(choices) == 3  # every tie candidate gets chosen sometimes
+
+    def test_random_spreads_choices(self):
+        choices = collections.Counter()
+        for seed in range(60):
+            view = _view("random", seed=seed)
+            view.add_sender("s1")
+            view.learn("s1", list(range(6)))
+            choices[view.pick("s1", lambda b: True)] += 1
+        assert len(choices) >= 4
+
+    def test_rarity_sample_bounds_scan_but_still_picks(self):
+        view = _view("rarest_random", rarity_sample=8)
+        view.add_sender("s1")
+        view.learn("s1", list(range(1000)))
+        picked = view.pick("s1", lambda b: True)
+        assert picked in range(1000)
+        # Unsampled candidates must survive for future picks.
+        remaining = {view.pick("s1", lambda b: True) for _ in range(50)}
+        assert len(remaining) == 50
+
+
+class TestDiversityProperty:
+    def test_rarest_random_spreads_better_than_first(self):
+        """The motivating property: across many receivers choosing from
+        the same availability, rarest-random yields more distinct early
+        picks than first-encountered (block diversity, section 3.3.2)."""
+
+        def early_picks(strategy):
+            picks = []
+            for seed in range(40):
+                view = _view(strategy, seed=seed)
+                view.add_sender("s")
+                view.learn("s", list(range(50)))
+                picks.append(view.pick("s", lambda b: True))
+            return len(set(picks))
+
+        assert early_picks("rarest_random") > early_picks("first")
+
+
+@given(
+    blocks=st.lists(
+        st.integers(min_value=0, max_value=200), min_size=1, max_size=50, unique=True
+    ),
+    strategy=st.sampled_from(REQUEST_STRATEGIES),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_every_pick_is_valid_and_unique(blocks, strategy, seed):
+    view = _view(strategy, seed=seed)
+    view.add_sender("s")
+    view.learn("s", blocks)
+    picked = []
+    while True:
+        block = view.pick("s", lambda b: True)
+        if block is None:
+            break
+        picked.append(block)
+    assert sorted(picked) == sorted(blocks)

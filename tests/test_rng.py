@@ -1,0 +1,24 @@
+"""Tests for deterministic RNG splitting."""
+
+from repro.common.rng import split_rng
+
+
+def test_same_seed_label_reproduces():
+    a = split_rng(42, "x")
+    b = split_rng(42, "x")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_labels_diverge():
+    assert split_rng(1, "a").random() != split_rng(1, "b").random()
+
+
+def test_different_seeds_diverge():
+    assert split_rng(1, "a").random() != split_rng(2, "a").random()
+
+
+def test_stable_across_calls():
+    # The derivation is hash-based, not id-based: a known draw stays fixed.
+    first = split_rng(0, "stability-check").random()
+    again = split_rng(0, "stability-check").random()
+    assert first == again

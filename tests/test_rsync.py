@@ -1,0 +1,169 @@
+"""Tests for the rsync delta algorithm and Shotgun bundles."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.download import FileObject
+from repro.harness.workloads import software_update_workload
+from repro.shotgun.rsync import (
+    Delta,
+    RollingChecksum,
+    apply_delta,
+    compute_delta,
+    compute_signature,
+    weak_checksum,
+)
+from repro.shotgun.shotgun import ParallelRsyncModel, UpdateBundle
+
+
+class TestRollingChecksum:
+    def test_roll_matches_recompute(self):
+        data = bytes(range(1, 50))
+        window = 8
+        roller = RollingChecksum(data[:window])
+        for i in range(len(data) - window):
+            assert roller.value == weak_checksum(data[i : i + window])
+            roller.roll(data[i], data[i + window])
+
+    @given(st.binary(min_size=9, max_size=200))
+    def test_roll_property(self, data):
+        window = 8
+        roller = RollingChecksum(data[:window])
+        for i in range(len(data) - window):
+            roller.roll(data[i], data[i + window])
+        assert roller.value == weak_checksum(data[-window:])
+
+
+class TestDeltaRoundTrip:
+    def test_identical_files_all_copies(self):
+        old = FileObject.synthetic(10_240, 512, seed=1).data  # whole blocks
+        sig = compute_signature(old, 512)
+        delta = compute_delta(sig, old)
+        assert delta.literal_bytes() == 0
+        assert apply_delta(old, delta) == old
+
+    def test_short_tail_ships_as_literal(self):
+        # A final partial block cannot weak-match a full window; it goes
+        # out as a literal (bounded by one block).
+        old = FileObject.synthetic(10_000, 512, seed=1).data
+        sig = compute_signature(old, 512)
+        delta = compute_delta(sig, old)
+        assert 0 < delta.literal_bytes() <= 512
+        assert apply_delta(old, delta) == old
+
+    def test_disjoint_files_all_literals(self):
+        old = b"a" * 4096
+        new = FileObject.synthetic(4096, 256, seed=2).data
+        sig = compute_signature(old, 256)
+        delta = compute_delta(sig, new)
+        assert apply_delta(old, delta) == new
+        assert delta.literal_bytes() >= len(new) - 256
+
+    def test_partial_change(self):
+        old = FileObject.synthetic(20_000, 512, seed=3).data
+        new = old[:8_000] + b"INSERTED" + old[8_000:]
+        sig = compute_signature(old, 512)
+        delta = compute_delta(sig, new)
+        assert apply_delta(old, delta) == new
+        # Most of the file is copied, not shipped.
+        assert delta.literal_bytes() < 2_000
+        assert delta.wire_size() < len(new) / 4
+
+    def test_block_reordering_detected(self):
+        old = FileObject.synthetic(4_096, 512, seed=4).data
+        blocks = [old[i : i + 512] for i in range(0, 4096, 512)]
+        new = b"".join(reversed(blocks))
+        sig = compute_signature(old, 512)
+        delta = compute_delta(sig, new)
+        assert apply_delta(old, delta) == new
+        assert delta.literal_bytes() == 0  # pure rearrangement
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            apply_delta(b"x", Delta(4, [("jump", 0)]))
+
+    def test_copy_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            apply_delta(b"x", Delta(4, [(Delta.COPY, 99)]))
+
+    def test_signature_validation(self):
+        with pytest.raises(ValueError):
+            compute_signature(b"abc", 0)
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        old=st.binary(min_size=0, max_size=3000),
+        new=st.binary(min_size=0, max_size=3000),
+        block=st.sampled_from([16, 64, 256]),
+    )
+    def test_round_trip_property(self, old, new, block):
+        sig = compute_signature(old, block)
+        delta = compute_delta(sig, new)
+        assert apply_delta(old, delta) == new
+
+
+class TestUpdateBundle:
+    def test_build_and_apply(self):
+        old, new = software_update_workload(100_000, delta_fraction=0.3, seed=5)
+        bundle = UpdateBundle.build(old, new, old_version=3, new_version=4)
+        image, version = bundle.apply(old, current_version=3)
+        assert image == new
+        assert version == 4
+
+    def test_stale_bundle_ignored(self):
+        old, new = software_update_workload(10_000, seed=6)
+        bundle = UpdateBundle.build(old, new, old_version=1, new_version=2)
+        image, version = bundle.apply(new, current_version=2)
+        assert version == 2
+        assert image == new
+
+    def test_version_gap_rejected(self):
+        old, new = software_update_workload(10_000, seed=7)
+        bundle = UpdateBundle.build(old, new, old_version=3, new_version=4)
+        with pytest.raises(ValueError, match="version"):
+            bundle.apply(old, current_version=1)
+
+    def test_wire_size_tracks_delta_fraction(self):
+        old_s, new_s = software_update_workload(200_000, delta_fraction=0.1, seed=8)
+        old_l, new_l = software_update_workload(200_000, delta_fraction=0.9, seed=8)
+        small = UpdateBundle.build(old_s, new_s, 1, 2)
+        large = UpdateBundle.build(old_l, new_l, 1, 2)
+        assert small.wire_size < large.wire_size
+
+
+class TestParallelRsyncModel:
+    def test_more_parallelism_not_always_better(self):
+        model = ParallelRsyncModel()
+        delta = 10 * 1024 * 1024
+        times = {
+            k: max(model.completion_times(40, k, delta)) for k in (1, 4, 40)
+        }
+        # Some parallelism helps (client links cap a single transfer
+        # below the server's uplink)...
+        assert times[4] < times[1]
+        # ...but per-transfer rates collapse at high fan-out, so going
+        # all-out is worse than a moderate setting (the paper had to
+        # find the optimum experimentally).
+        assert model.transfer_rate(40) < model.transfer_rate(4)
+        assert times[40] > times[4]
+
+    def test_image_scan_dominates_small_deltas(self):
+        # rsync re-scans the whole image per client: with a big image and
+        # a tiny delta, scan time is the bulk of the sweep.
+        model = ParallelRsyncModel()
+        with_scan = max(
+            model.completion_times(40, 4, 1024, image_bytes=200_000_000)
+        )
+        without = max(model.completion_times(40, 4, 1024))
+        assert with_scan > without * 10
+
+    def test_staggered_batches(self):
+        model = ParallelRsyncModel()
+        times = model.completion_times(10, 4, 1_000_000)
+        assert len(times) == 10
+        assert len(set(times)) == 3  # three batches: 4 + 4 + 2
+
+    def test_validation(self):
+        model = ParallelRsyncModel()
+        with pytest.raises(ValueError):
+            model.completion_times(10, 0, 1000)

@@ -1,0 +1,136 @@
+"""Tests for the source's sending strategy (section 3.3.5)."""
+
+import pytest
+
+from repro.core.source import SourcePusher
+
+
+class _FakeConn:
+    def __init__(self):
+        self.sent = []
+        self.closed = False
+        self.on_sent = None
+        self.queue_limit = None  # None = unbounded appetite
+
+    @property
+    def send_queue_blocks(self):
+        if self.queue_limit is None:
+            return 0
+        return self._queued
+
+    def send(self, message):
+        self.sent.append(message.payload["block"])
+        if self.queue_limit is not None:
+            self._queued += 1
+        return True
+
+    def drain(self, count=1):
+        self._queued = max(0, self._queued - count)
+        if self.on_sent is not None:
+            self.on_sent(self, None)
+
+
+def _bounded_conn(limit):
+    conn = _FakeConn()
+    conn.queue_limit = limit
+    conn._queued = 0
+    return conn
+
+
+class TestValidation:
+    def test_encoded_xor_blocks(self):
+        with pytest.raises(ValueError):
+            SourcePusher(16, block_ids=[1], encoded=True)
+        with pytest.raises(ValueError):
+            SourcePusher(16)
+
+
+class TestUnencodedPass:
+    def test_every_block_sent_exactly_once(self):
+        pusher = SourcePusher(16, block_ids=range(10))
+        conns = [_FakeConn(), _FakeConn()]
+        for conn in conns:
+            pusher.add_child(conn)
+        sent = conns[0].sent + conns[1].sent
+        assert sorted(sent) == list(range(10))
+        assert pusher.pass_complete
+
+    def test_round_robin_across_children(self):
+        pusher = SourcePusher(16, block_ids=range(6), window=2)
+        a, b = _bounded_conn(10), _bounded_conn(10)
+        pusher.add_child(a)
+        pusher.add_child(b)
+        # With bounded pipes the round-robin alternates: each child holds
+        # its window of 2 and the pusher stalls with 2 blocks left.
+        assert len(a.sent) == 2 and len(b.sent) == 2
+        a.drain(2)
+        b.drain(2)
+        assert sorted(a.sent + b.sent) == list(range(6))
+
+    def test_full_pipe_skipped_not_blocked(self):
+        pusher = SourcePusher(16, block_ids=range(8), window=2)
+        slow = _bounded_conn(2)
+        fast = _FakeConn()
+        pusher.add_child(slow)
+        pusher.add_child(fast)
+        # slow takes its window of 2; the rest flow to fast.
+        assert len(slow.sent) == 2
+        assert len(fast.sent) == 6
+
+    def test_resumes_on_drain(self):
+        pusher = SourcePusher(16, block_ids=range(6), window=2)
+        conn = _bounded_conn(2)
+        pusher.add_child(conn)
+        assert len(conn.sent) == 2
+        assert not pusher.pass_complete
+        while not pusher.pass_complete:
+            conn.drain()
+        assert sorted(conn.sent) == list(range(6))
+
+    def test_pass_complete_callback(self):
+        fired = []
+        pusher = SourcePusher(
+            16, block_ids=range(3), on_pass_complete=lambda: fired.append(1)
+        )
+        pusher.add_child(_FakeConn())
+        assert fired == [1]
+
+    def test_closed_children_skipped(self):
+        pusher = SourcePusher(16, block_ids=range(4))
+        dead = _FakeConn()
+        dead.closed = True
+        live = _FakeConn()
+        pusher.add_child(dead)
+        pusher.add_child(live)
+        assert dead.sent == []
+        assert sorted(live.sent) == list(range(4))
+
+
+class TestEncodedStream:
+    def test_generates_increasing_ids(self):
+        pusher = SourcePusher(16, encoded=True, window=2)
+        conn = _bounded_conn(2)
+        pusher.add_child(conn)
+        for _ in range(10):
+            conn.drain()
+        assert conn.sent == sorted(conn.sent)
+        assert len(set(conn.sent)) == len(conn.sent)
+
+    def test_never_pass_complete(self):
+        pusher = SourcePusher(16, encoded=True, window=1)
+        conn = _bounded_conn(1)
+        pusher.add_child(conn)
+        for _ in range(50):
+            conn.drain()
+        assert not pusher.pass_complete
+
+    def test_stalls_without_room_and_ungenerate(self):
+        pusher = SourcePusher(16, encoded=True, window=1)
+        conn = _bounded_conn(1)
+        pusher.add_child(conn)
+        sent_before = len(conn.sent)
+        pusher.pump()  # no room: must not burn block ids
+        conn.drain()
+        # ids remain contiguous despite the stalled pump.
+        assert conn.sent == list(range(len(conn.sent)))
+        assert len(conn.sent) == sent_before + 1

@@ -1,0 +1,98 @@
+"""Tests for CDF and statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import Cdf, OnlineStats, mean_stddev
+
+
+class TestMeanStddev:
+    def test_empty(self):
+        assert mean_stddev([]) == (0.0, 0.0)
+
+    def test_single_value(self):
+        mean, std = mean_stddev([5.0])
+        assert mean == 5.0
+        assert std == 0.0
+
+    def test_known_values(self):
+        mean, std = mean_stddev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert mean == 5.0
+        assert std == pytest.approx(2.0)
+
+
+class TestOnlineStats:
+    def test_empty(self):
+        stats = OnlineStats()
+        assert stats.mean == 0.0
+        assert stats.stddev == 0.0
+
+    def test_matches_batch(self):
+        values = [1.0, 2.0, 3.5, -4.0, 10.0]
+        stats = OnlineStats()
+        for v in values:
+            stats.add(v)
+        batch_mean, batch_std = mean_stddev(values)
+        assert stats.mean == pytest.approx(batch_mean)
+        assert stats.stddev == pytest.approx(batch_std)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_property_matches_batch(self, values):
+        stats = OnlineStats()
+        for v in values:
+            stats.add(v)
+        batch_mean, batch_std = mean_stddev(values)
+        assert stats.mean == pytest.approx(batch_mean, abs=1e-6)
+        assert stats.stddev == pytest.approx(batch_std, abs=1e-3)
+
+
+class TestCdf:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Cdf([])
+
+    def test_percentiles(self):
+        cdf = Cdf(range(1, 101))
+        assert cdf.percentile(0.5) == 50
+        assert cdf.percentile(1.0) == 100
+        assert cdf.percentile(0.0) == 1
+        assert cdf.minimum == 1
+        assert cdf.maximum == 100
+
+    def test_percentile_bounds_checked(self):
+        cdf = Cdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.percentile(1.5)
+
+    def test_fraction_below(self):
+        cdf = Cdf([1, 2, 3, 4])
+        assert cdf.fraction_below(0) == 0.0
+        assert cdf.fraction_below(2) == 0.5
+        assert cdf.fraction_below(4) == 1.0
+        assert cdf.fraction_below(100) == 1.0
+
+    def test_points_monotone(self):
+        cdf = Cdf([3, 1, 2])
+        points = list(cdf.points())
+        assert points == [(1, 1 / 3), (2, 2 / 3), (3, 1.0)]
+
+    def test_table(self):
+        cdf = Cdf(range(10))
+        table = cdf.table((0.5, 1.0))
+        assert set(table) == {0.5, 1.0}
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=100))
+    def test_percentile_monotone(self, values):
+        cdf = Cdf(values)
+        fractions = [0.1, 0.3, 0.5, 0.7, 0.9, 1.0]
+        results = [cdf.percentile(f) for f in fractions]
+        assert results == sorted(results)
+
+    @given(st.lists(st.floats(0, 1e9), min_size=1, max_size=100))
+    def test_mean_between_min_max(self, values):
+        cdf = Cdf(values)
+        assert cdf.minimum <= cdf.mean <= cdf.maximum or math.isclose(
+            cdf.minimum, cdf.maximum
+        )
