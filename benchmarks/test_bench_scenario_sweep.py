@@ -1,0 +1,56 @@
+"""Scenario sweep: Bullet' under every registered dynamic scenario.
+
+Not a paper figure — this exercises the registry-driven pipeline end to
+end and tracks how each scenario class stresses the adaptive machinery.
+Claim to preserve: Bullet' *finishes* under every scenario at this
+scale, and no dynamic scenario beats the static control case (dynamics
+only take bandwidth away; flash-crowd staggering delays starts).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.registry import SCENARIOS, SYSTEMS
+from repro.sim.topology import mesh_topology
+
+
+def test_bench_scenario_sweep(benchmark, bench_scale):
+    num_nodes = bench_scale["num_nodes"]
+    num_blocks = bench_scale["num_blocks"]
+    seed = 2
+    builder = SYSTEMS.get("bullet_prime").builder
+
+    def sweep():
+        results = {}
+        for name in SCENARIOS.names():
+            result = run_experiment(
+                mesh_topology(num_nodes, seed=seed),
+                builder(num_blocks=num_blocks, seed=seed),
+                num_blocks,
+                scenario=SCENARIOS.build(name),
+                max_time=9000.0,
+                seed=seed,
+            )
+            results[name] = result.summary()
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    print()
+    print(f"{'scenario':22s} {'median':>8s} {'p90':>8s} {'worst':>8s} done")
+    for name, summary in sorted(results.items()):
+        print(
+            f"{name:22s} {summary['median']:8.1f} {summary['p90']:8.1f} "
+            f"{summary['worst']:8.1f} {summary['finished']}"
+        )
+
+    for name, summary in results.items():
+        assert summary["finished"], f"bullet_prime must finish under {name}"
+    static_median = results["none"]["median"]
+    for name, summary in results.items():
+        if name == "none":
+            continue
+        assert summary["median"] >= static_median * 0.95, (
+            f"{name} should not beat the static control case "
+            f"({summary['median']:.1f} vs {static_median:.1f})"
+        )

@@ -3,30 +3,29 @@
 
 The scenario the paper's introduction motivates — a popular file
 appearing at one source with a crowd of receivers arriving at once —
-run twice: on the static lossy topology (paper Figure 4) and under the
-correlated bandwidth-decrease process (paper Figure 5).
+run three times: on the static lossy topology (paper Figure 4), under
+the correlated bandwidth-decrease process (paper Figure 5), and with a
+staggered flash crowd composed with the bandwidth decreases (the
+``flash_crowd`` scenario + ``compose`` combinator).
 
 Run:  python examples/flash_crowd_comparison.py
 """
 
 from repro.harness.experiment import run_experiment
-from repro.harness.systems import SYSTEM_FACTORIES
-from repro.sim.scenario import correlated_decreases
+from repro.harness.registry import SYSTEMS
+from repro.scenarios import CorrelatedDecreases, FlashCrowd, compose
 from repro.sim.topology import mesh_topology
 
 
-def run_comparison(title, scenario_factory=None, num_nodes=24, num_blocks=160, seed=11):
+def run_comparison(title, scenario=None, num_nodes=24, num_blocks=160, seed=11):
     print(f"\n=== {title} ===")
     print(f"{'system':16s} {'median':>8s} {'p90':>8s} {'slowest':>8s} {'dups':>6s}")
     medians = {}
-    for name, (builder, _cfg) in SYSTEM_FACTORIES.items():
+    for name, entry in SYSTEMS.items():
         topology = mesh_topology(num_nodes, seed=seed)
-        scenario = None
-        if scenario_factory is not None:
-            scenario = lambda sim, topo: scenario_factory(sim, topo)
         result = run_experiment(
             topology,
-            builder(num_blocks=num_blocks, seed=seed),
+            entry.builder(num_blocks=num_blocks, seed=seed),
             num_blocks,
             scenario=scenario,
             max_time=6000.0,
@@ -47,7 +46,15 @@ def main():
     run_comparison("static network with random losses (Fig. 4)")
     run_comparison(
         "correlated bandwidth decreases (Fig. 5)",
-        scenario_factory=lambda sim, topo: correlated_decreases(sim, topo, seed=11),
+        scenario=CorrelatedDecreases(seed=11),
+    )
+    # The introduction's actual scenario: the crowd arrives staggered
+    # over 20 s *while* the network degrades underneath it.
+    run_comparison(
+        "staggered flash crowd + bandwidth decreases",
+        scenario=compose(
+            FlashCrowd(ramp=20.0), CorrelatedDecreases(seed=11)
+        ),
     )
 
 

@@ -1,28 +1,63 @@
 """Command-line entry point.
 
-Run any of the paper's figures::
+Three families of commands:
+
+Figures — reproduce any of the paper's figures::
 
     python -m repro fig4
     python -m repro fig5 --nodes 40 --blocks 480 --seed 3
     python -m repro all --nodes 20 --blocks 128
 
-The output is the text rendering of the figure's data (percentile rows
-per series plus the speedup lines the paper quotes).
+Registry-driven runs — any system under any scenario::
+
+    python -m repro run --system bulletprime --scenario oscillate \\
+        --nodes 40 --blocks 320 --json
+    python -m repro run --system bittorrent --scenario churn \\
+        --topology planetlab
+
+Discovery — enumerate everything registered::
+
+    python -m repro list
+    python -m repro list --json
+
+Figure output is the text rendering of the figure's data; ``run``
+prints a completion-time summary (or the same as JSON with ``--json``).
 """
 
 import argparse
+import json
 import sys
 import time
 
+from repro.harness.experiment import run_experiment
 from repro.harness.figures import FIGURES, run_figure
+from repro.harness.registry import SCENARIOS, SYSTEMS, WORKLOADS
+from repro.sim.topology import (
+    constrained_access_topology,
+    mesh_topology,
+    planetlab_like_topology,
+    star_topology,
+)
+
+TOPOLOGIES = {
+    "mesh": mesh_topology,
+    "constrained": constrained_access_topology,
+    "planetlab": planetlab_like_topology,
+    "star": lambda num_nodes, seed=0: star_topology(num_nodes),
+}
 
 
-def _parse_args(argv):
+def _parse_figure_args(argv):
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
             "Reproduce figures from 'Maintaining High Bandwidth under "
             "Dynamic Network Conditions' (Bullet', USENIX 2005)."
+        ),
+        epilog=(
+            "Other commands: 'repro run' (any system under any dynamic "
+            "scenario) and 'repro list' (registered systems, scenarios, "
+            "workloads)."
         ),
     )
     parser.add_argument(
@@ -52,8 +87,8 @@ def _figure_kwargs(figure_id, args):
     return kwargs
 
 
-def main(argv=None):
-    args = _parse_args(argv if argv is not None else sys.argv[1:])
+def _figures_command(argv):
+    args = _parse_figure_args(argv)
     targets = sorted(FIGURES) if args.figure == "all" else [args.figure]
     for figure_id in targets:
         started = time.time()
@@ -61,6 +96,166 @@ def main(argv=None):
         print(figure.render())
         print(f"[{figure_id} completed in {time.time() - started:.1f}s]\n")
     return 0
+
+
+def _parse_run_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description=(
+            "Run one registered system under one registered scenario."
+        ),
+    )
+    parser.add_argument(
+        "--system",
+        default="bullet_prime",
+        help="system name or alias (see 'repro list')",
+    )
+    parser.add_argument(
+        "--scenario",
+        default="none",
+        help="dynamic-network scenario name or alias (see 'repro list')",
+    )
+    parser.add_argument(
+        "--topology",
+        default="mesh",
+        choices=sorted(TOPOLOGIES),
+        help="topology family (default: the paper's lossy mesh)",
+    )
+    parser.add_argument("--nodes", type=int, default=40, help="overlay size")
+    parser.add_argument(
+        "--blocks", type=int, default=320, help="file size in blocks"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--max-time",
+        type=float,
+        default=6000.0,
+        help="simulated-seconds cap",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        help="trace file for --scenario trace_replay",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+    return parser.parse_args(argv)
+
+
+def _run_command(argv):
+    args = _parse_run_args(argv)
+    try:
+        system = SYSTEMS.get(args.system)
+        scenario_entry = SCENARIOS.get(args.scenario)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    scenario_kwargs = {}
+    if args.trace is not None:
+        if scenario_entry.name != "trace_replay":
+            print(
+                "error: --trace only applies to --scenario trace_replay",
+                file=sys.stderr,
+            )
+            return 2
+        scenario_kwargs["path"] = args.trace
+    try:
+        scenario = scenario_entry.build(**scenario_kwargs)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot build scenario: {exc}", file=sys.stderr)
+        return 2
+    topology = TOPOLOGIES[args.topology](args.nodes, seed=args.seed)
+
+    started = time.time()
+    result = run_experiment(
+        topology,
+        system.builder(num_blocks=args.blocks, seed=args.seed),
+        args.blocks,
+        scenario=scenario,
+        max_time=args.max_time,
+        seed=args.seed,
+    )
+    elapsed = time.time() - started
+    summary = result.summary()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "system": system.name,
+                    "scenario": scenario_entry.name,
+                    "topology": args.topology,
+                    "nodes": args.nodes,
+                    "blocks": args.blocks,
+                    "seed": args.seed,
+                    "summary": summary,
+                    "wall_seconds": round(elapsed, 3),
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"{system.name} under {scenario_entry.name} on "
+            f"{args.topology}({args.nodes} nodes, {args.blocks} blocks, "
+            f"seed {args.seed}):"
+        )
+        for key in ("median", "p90", "worst"):
+            print(f"  {key:14s} {summary[key]:10.1f} s")
+        print(f"  {'finished':14s} {summary['finished']}")
+        print(f"  {'duplicates':14s} {summary['duplicates']}")
+        print(f"  {'control bytes':14s} {summary['control_bytes']}")
+        print(f"[completed in {elapsed:.1f}s]")
+    return 0
+
+
+def _parse_list_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro list",
+        description="List registered systems, scenarios, and workloads.",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the listing as JSON"
+    )
+    return parser.parse_args(argv)
+
+
+def _list_command(argv):
+    args = _parse_list_args(argv)
+    registries = [
+        ("systems", SYSTEMS),
+        ("scenarios", SCENARIOS),
+        ("workloads", WORKLOADS),
+    ]
+    if args.json:
+        doc = {
+            title: [
+                {"name": name, "description": desc, "aliases": list(aliases)}
+                for name, desc, aliases in registry.describe()
+            ]
+            for title, registry in registries
+        }
+        doc["figures"] = sorted(FIGURES)
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    for title, registry in registries:
+        print(f"{title}:")
+        for name, desc, aliases in registry.describe():
+            alias_note = f" (aliases: {', '.join(aliases)})" if aliases else ""
+            print(f"  {name:22s} {desc}{alias_note}")
+        print()
+    print(f"figures: {', '.join(sorted(FIGURES))} (or 'all')")
+    return 0
+
+
+def main(argv=None):
+    argv = list(argv if argv is not None else sys.argv[1:])
+    if argv and argv[0] == "run":
+        return _run_command(argv[1:])
+    if argv and argv[0] == "list":
+        return _list_command(argv[1:])
+    return _figures_command(argv)
 
 
 if __name__ == "__main__":

@@ -1,5 +1,10 @@
 """Experiment harness.
 
+- :mod:`repro.harness.registry` — the unified name registries:
+  :data:`~repro.harness.registry.SYSTEMS`,
+  :data:`~repro.harness.registry.SCENARIOS`,
+  :data:`~repro.harness.registry.WORKLOADS`.  Everything else resolves
+  names through these.
 - :mod:`repro.harness.experiment` — generic runner: topology + system +
   optional dynamic scenario -> completion-time CDF and traces.
 - :mod:`repro.harness.workloads` — file and delta workload generators.
@@ -9,5 +14,14 @@
 
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.figures import FIGURES, run_figure
+from repro.harness.registry import SCENARIOS, SYSTEMS, WORKLOADS
 
-__all__ = ["ExperimentResult", "run_experiment", "FIGURES", "run_figure"]
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "FIGURES",
+    "run_figure",
+    "SYSTEMS",
+    "SCENARIOS",
+    "WORKLOADS",
+]

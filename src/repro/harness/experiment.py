@@ -9,12 +9,22 @@ limit).  The runner wires them to a fresh simulator and returns an
 
 from repro.common.rng import split_rng
 from repro.overlay.tree import build_random_tree
+from repro.scenarios.base import Scenario, ScenarioContext
 from repro.sim.engine import Simulator
 from repro.sim.tcp import FlowNetwork
 from repro.sim.trace import TraceCollector
 from repro.sim.transport import Network
 
 __all__ = ["ExperimentResult", "run_experiment"]
+
+
+def _resolve_scenario(scenario):
+    """Accept a Scenario, a registry name, or a legacy installer."""
+    if isinstance(scenario, str):
+        from repro.harness.registry import SCENARIOS
+
+        return SCENARIOS.build(scenario)
+    return scenario
 
 
 class ExperimentResult:
@@ -77,8 +87,12 @@ def run_experiment(
     num_blocks:
         File size in blocks (drives the trace collector).
     scenario:
-        Optional ``scenario(sim, topology)`` installer for dynamic
-        network conditions (see :mod:`repro.sim.scenario`).
+        Optional dynamic network conditions: a
+        :class:`repro.scenarios.Scenario`, a scenario name registered in
+        :data:`repro.harness.registry.SCENARIOS`, or a legacy
+        ``scenario(sim, topology)`` installer.  Scenario objects get the
+        full :class:`~repro.scenarios.ScenarioContext` (nodes, source,
+        seed) and may stagger node start times via ``ctx.start_delays``.
     max_time:
         Simulated-seconds cap; the run stops early once every surviving
         non-source node has completed.
@@ -98,10 +112,27 @@ def run_experiment(
         topology.nodes, root=source_id, fanout=tree_fanout, seed=seed
     )
     nodes = node_factory(network, tree, source_id, trace)
+    start_delays = {}
+    scenario = _resolve_scenario(scenario)
     if scenario is not None:
-        scenario(sim, topology)
-    for node in nodes.values():
-        node.start()
+        if isinstance(scenario, Scenario):
+            ctx = ScenarioContext(
+                sim,
+                topology,
+                nodes=nodes,
+                source_id=source_id,
+                seed=seed,
+            )
+            scenario.install(ctx)
+            start_delays = ctx.start_delays
+        else:
+            scenario(sim, topology)
+    for node_id, node in nodes.items():
+        delay = start_delays.get(node_id, 0.0)
+        if delay > 0 and node_id != source_id:
+            sim.schedule(delay, node.start)
+        else:
+            node.start()
 
     failed = set()
     for fail_time, node_id in failure_schedule:

@@ -7,17 +7,20 @@ by default so the whole suite completes on a laptop; pass larger
 
 The experiment index in DESIGN.md maps each function to the paper's
 figure and to the benchmark that regenerates it.
+
+Figures are thin consumers of the registries: systems come from
+:data:`repro.harness.registry.SYSTEMS` and dynamic conditions are
+:class:`repro.scenarios.Scenario` objects, so anything registered there
+is immediately plottable.
 """
 
 from repro.common.units import KBPS, KiB, MBPS, MS
 from repro.core.download import ENCODING_OVERHEAD
 from repro.harness.experiment import run_experiment
+from repro.harness.registry import SYSTEMS
 from repro.harness.report import FigureData
-from repro.harness.systems import (
-    SYSTEM_FACTORIES,
-    bullet_prime_factory,
-)
-from repro.sim.scenario import cascading_cuts, correlated_decreases
+from repro.harness.systems import bullet_prime_factory
+from repro.scenarios import CascadingCuts, CorrelatedDecreases
 from repro.sim.topology import (
     constrained_access_topology,
     mesh_topology,
@@ -49,9 +52,7 @@ def _dynamic_scenario(seed, period=None, num_blocks=None):
     if period is None:
         blocks_at_paper_scale = 6400  # 100 MB / 16 KB
         period = max(4.0, 20.0 * (num_blocks or 640) / blocks_at_paper_scale)
-    return lambda sim, topo: correlated_decreases(
-        sim, topo, seed=seed, period=period
-    )
+    return CorrelatedDecreases(seed=seed, period=period)
 
 
 # ---------------------------------------------------------------- fig 4 / 5
@@ -69,8 +70,8 @@ def _system_comparison(
     notes=(),
 ):
     fig = FigureData(figure_id, title, reference="bullet_prime", notes=notes)
-    for name in systems or SYSTEM_FACTORIES:
-        builder, _cfg = SYSTEM_FACTORIES[name]
+    for name in systems or SYSTEMS:
+        builder = SYSTEMS.get(name).builder
         topology = _mesh(num_nodes, seed)
         result = run_experiment(
             topology,
@@ -338,8 +339,7 @@ def fig12_outstanding_cascading(num_blocks=640, seed=0):
             8, core_bw=10 * MBPS, core_delay=1 * MS, special_links=special
         )
 
-    def scenario(sim, topo):
-        return cascading_cuts(sim, topo, target, helpers, period=25.0)
+    scenario = CascadingCuts(target=target, senders=helpers, period=25.0)
 
     fig = _outstanding_variants(
         "fig12",
@@ -406,7 +406,8 @@ def fig14_planetlab(num_nodes=41, num_blocks=320, seed=0, max_time=9000.0):
         "wide-area comparison on a PlanetLab-like topology (paper Fig. 14)",
         reference="bullet_prime",
     )
-    for name, (builder, _cfg) in SYSTEM_FACTORIES.items():
+    for name, entry in SYSTEMS.items():
+        builder = entry.builder
         topology = planetlab_like_topology(num_nodes, seed=seed)
         result = run_experiment(
             topology,

@@ -1,0 +1,147 @@
+"""Unified name registries for systems, scenarios, and workloads.
+
+One :class:`Registry` instance per kind maps names to *builders* —
+callables returning the experiment ingredient (a node-factory builder, a
+:class:`~repro.scenarios.base.Scenario`, a workload generator).  Every
+consumer (figures, the ``python -m repro run``/``list`` CLI, benchmarks,
+tests) resolves through these instead of private dicts, so registering a
+new system or scenario makes it runnable everywhere at once — including
+the full baseline x scenario matrix.
+
+Lookup is forgiving: exact name first, then declared aliases, then a
+normalized form that ignores case, ``-`` and ``_`` (so ``bulletprime``
+finds ``bullet_prime``).  Registries populate lazily by importing the
+module that registers into them, which keeps this module import-cycle
+free.
+"""
+
+import importlib
+
+__all__ = ["Registry", "RegistryEntry", "SYSTEMS", "SCENARIOS", "WORKLOADS"]
+
+
+def _normalize(name):
+    return name.lower().replace("-", "").replace("_", "")
+
+
+class RegistryEntry:
+    """One registered name: the builder plus display metadata."""
+
+    __slots__ = ("name", "builder", "description", "aliases", "extras")
+
+    def __init__(self, name, builder, description="", aliases=(), **extras):
+        self.name = name
+        self.builder = builder
+        self.description = description
+        self.aliases = tuple(aliases)
+        self.extras = extras
+
+    def build(self, **kwargs):
+        return self.builder(**kwargs)
+
+    def __repr__(self):
+        return f"RegistryEntry({self.name!r})"
+
+
+class Registry:
+    """An ordered name -> :class:`RegistryEntry` mapping with aliases.
+
+    ``populate`` names a module imported on first access; that module
+    registers its entries at import time (systems register themselves in
+    :mod:`repro.harness.systems`, scenarios in :mod:`repro.scenarios`,
+    workloads in :mod:`repro.harness.workloads`).
+    """
+
+    def __init__(self, kind, populate=None):
+        self.kind = kind
+        self._populate = populate
+        self._populated = populate is None
+        self._entries = {}
+        self._lookup = {}
+
+    def _ensure_populated(self):
+        if not self._populated:
+            # Set the flag first: the populating module may itself read
+            # the registry at import time.
+            self._populated = True
+            importlib.import_module(self._populate)
+
+    def register(self, name, builder, *, description="", aliases=(), **extras):
+        """Register ``builder`` under ``name`` (plus ``aliases``)."""
+        if name in self._entries:
+            raise ValueError(f"duplicate {self.kind} name {name!r}")
+        entry = RegistryEntry(
+            name, builder, description=description, aliases=aliases, **extras
+        )
+        self._entries[name] = entry
+        for key in (name, *aliases):
+            normalized = _normalize(key)
+            other = self._lookup.get(normalized)
+            if other is not None and other != name:
+                raise ValueError(
+                    f"{self.kind} alias {key!r} collides with {other!r}"
+                )
+            self._lookup[normalized] = name
+        return entry
+
+    def get(self, name):
+        """Resolve ``name`` (exact, alias, or normalized) to its entry."""
+        self._ensure_populated()
+        entry = self._entries.get(name)
+        if entry is None:
+            canonical = self._lookup.get(_normalize(name))
+            if canonical is not None:
+                entry = self._entries[canonical]
+        if entry is None:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; available: {self.names()}"
+            )
+        return entry
+
+    def build(self, name, **kwargs):
+        """Build the named object: ``get(name).builder(**kwargs)``."""
+        return self.get(name).build(**kwargs)
+
+    def names(self):
+        self._ensure_populated()
+        return sorted(self._entries)
+
+    def items(self):
+        self._ensure_populated()
+        return list(self._entries.items())
+
+    def __contains__(self, name):
+        try:
+            self.get(name)
+            return True
+        except KeyError:
+            return False
+
+    def __iter__(self):
+        self._ensure_populated()
+        return iter(self._entries)
+
+    def __len__(self):
+        self._ensure_populated()
+        return len(self._entries)
+
+    def describe(self):
+        """``[(name, description, aliases), ...]`` for CLI listings."""
+        self._ensure_populated()
+        return [
+            (entry.name, entry.description, entry.aliases)
+            for entry in self._entries.values()
+        ]
+
+    def __repr__(self):
+        return f"Registry({self.kind!r}, n={len(self._entries)})"
+
+
+#: Dissemination systems (``repro.harness.systems``).
+SYSTEMS = Registry("system", populate="repro.harness.systems")
+
+#: Dynamic-network scenarios (``repro.scenarios``).
+SCENARIOS = Registry("scenario", populate="repro.scenarios")
+
+#: Workload generators (``repro.harness.workloads``).
+WORKLOADS = Registry("workload", populate="repro.harness.workloads")

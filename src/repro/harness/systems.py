@@ -3,6 +3,11 @@
 Each factory returns a ``node_factory`` suitable for
 :func:`repro.harness.experiment.run_experiment`, hiding the per-system
 construction details (trackers, stripe forests, control trees).
+
+Systems register themselves in :data:`repro.harness.registry.SYSTEMS`;
+figures, the CLI, and the scenario-matrix tests all resolve through
+that registry, so a system registered here runs under every scenario
+automatically.
 """
 
 from repro.baselines.bittorrent import BitTorrentConfig, BitTorrentNode, Tracker
@@ -13,6 +18,7 @@ from repro.baselines.splitstream import (
     build_stripe_forest,
 )
 from repro.core.bullet_prime import BulletPrimeConfig, BulletPrimeNode
+from repro.harness.registry import SYSTEMS
 
 __all__ = [
     "bullet_prime_factory",
@@ -87,11 +93,36 @@ def splitstream_factory(config=None, **overrides):
     return factory
 
 
-#: Name -> (factory builder, config class); the comparison figures
-#: iterate over this.
+SYSTEMS.register(
+    "bullet_prime",
+    bullet_prime_factory,
+    description="Bullet' (this paper): adaptive peering + flow control",
+    aliases=("bulletprime", "bullet-prime", "bp"),
+    config=BulletPrimeConfig,
+)
+SYSTEMS.register(
+    "bullet",
+    bullet_factory,
+    description="original Bullet: tree push plus mesh recovery",
+    config=BulletConfig,
+)
+SYSTEMS.register(
+    "bittorrent",
+    bittorrent_factory,
+    description="BitTorrent: tracker-coordinated swarm",
+    aliases=("bt",),
+    config=BitTorrentConfig,
+)
+SYSTEMS.register(
+    "splitstream",
+    splitstream_factory,
+    description="SplitStream: striped interior-node-disjoint trees",
+    config=SplitStreamConfig,
+)
+
+#: Legacy view: name -> (factory builder, config class).  Derived from
+#: the registry; prefer ``SYSTEMS`` in new code.
 SYSTEM_FACTORIES = {
-    "bullet_prime": (bullet_prime_factory, BulletPrimeConfig),
-    "bullet": (bullet_factory, BulletConfig),
-    "bittorrent": (bittorrent_factory, BitTorrentConfig),
-    "splitstream": (splitstream_factory, SplitStreamConfig),
+    name: (entry.builder, entry.extras["config"])
+    for name, entry in SYSTEMS.items()
 }

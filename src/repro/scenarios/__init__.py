@@ -1,0 +1,134 @@
+"""Composable dynamic-network scenarios.
+
+The paper's thesis is that dissemination must survive *dynamic* network
+conditions; this package is the vocabulary for scripting them.  A
+:class:`Scenario` declaratively describes how the emulated network
+changes over time and installs into any simulation via a
+:class:`ScenarioContext`; instances are pure configuration and freely
+re-installable.
+
+Catalogue (all registered in :data:`repro.harness.registry.SCENARIOS`):
+
+====================  =======================================================
+``none``              static control case (no dynamics)
+``correlated_decreases``  the paper's section-4.1 periodic correlated cuts
+``cascading_cuts``    Figure 12's one-sender-at-a-time collapse
+``oscillate``         cellular/5G-style high-frequency capacity swings
+``flash_crowd``       staggered receiver joins over a ramp
+``churn``             nodes drop to trickle connectivity and come back
+``trace_replay``      drive capacities from a recorded (time, bw) trace
+====================  =======================================================
+
+Combinators — :func:`compose`, :func:`delay`, :func:`repeat` — build
+compound conditions; :class:`TraceRecorder` captures any run's link
+schedule for later replay.  ``run_experiment`` accepts Scenario
+instances directly (or registry names), and every scenario still works
+as a legacy ``scenario(sim, topology)`` installer.
+"""
+
+from repro.scenarios.base import (
+    CompositeHandle,
+    Scenario,
+    ScenarioContext,
+    ScenarioHandle,
+    install_scenario,
+)
+from repro.scenarios.catalog import (
+    CascadingCuts,
+    Churn,
+    CorrelatedDecreases,
+    FlashCrowd,
+    Oscillate,
+    Static,
+    cascading_cuts,
+    correlated_decreases,
+)
+from repro.scenarios.combinators import (
+    Compose,
+    Delay,
+    Repeat,
+    compose,
+    delay,
+    repeat,
+)
+from repro.scenarios.tracefile import (
+    TraceRecorder,
+    TraceReplay,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioContext",
+    "ScenarioHandle",
+    "CompositeHandle",
+    "install_scenario",
+    "Static",
+    "CorrelatedDecreases",
+    "CascadingCuts",
+    "Oscillate",
+    "FlashCrowd",
+    "Churn",
+    "TraceRecorder",
+    "TraceReplay",
+    "read_trace",
+    "write_trace",
+    "Compose",
+    "Delay",
+    "Repeat",
+    "compose",
+    "delay",
+    "repeat",
+    "correlated_decreases",
+    "cascading_cuts",
+]
+
+# -- registration -------------------------------------------------------------
+#
+# Kept last: importing the registry may (re-)enter this package while it
+# is mid-import, and by this point every public name above exists.
+
+from repro.harness.registry import SCENARIOS  # noqa: E402
+
+SCENARIOS.register(
+    "none",
+    Static,
+    description="static network, no dynamic conditions (control case)",
+    aliases=("static",),
+)
+SCENARIOS.register(
+    "correlated_decreases",
+    CorrelatedDecreases,
+    description="paper sec. 4.1: periodic correlated bandwidth cuts",
+    aliases=("correlated", "bandwidth_cuts"),
+)
+SCENARIOS.register(
+    "cascading_cuts",
+    CascadingCuts,
+    description="paper Fig. 12: one more sender link throttled per period",
+    aliases=("cascade",),
+)
+SCENARIOS.register(
+    "oscillate",
+    Oscillate,
+    description="cellular/5G-style high-frequency capacity oscillation",
+    aliases=("oscillation", "cellular"),
+)
+SCENARIOS.register(
+    "flash_crowd",
+    FlashCrowd,
+    description="staggered receiver joins over a ramp interval",
+    aliases=("staggered_joins",),
+)
+SCENARIOS.register(
+    "churn",
+    Churn,
+    description="nodes lose connectivity and rejoin (network-level churn)",
+)
+SCENARIOS.register(
+    "trace_replay",
+    TraceReplay,
+    description="drive link capacities from a recorded (time, bw) trace",
+    aliases=("trace",),
+)

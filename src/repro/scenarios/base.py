@@ -1,0 +1,197 @@
+"""Scenario base classes.
+
+A :class:`Scenario` is a declarative description of a dynamic-network
+condition — *what* happens to the emulated network over time — decoupled
+from any particular experiment.  Instances hold configuration only; all
+per-run state lives inside :meth:`Scenario.install`, so one instance can
+be installed into many simulations (and re-installed by the ``repeat``
+combinator) without cross-talk.
+
+``install`` receives a :class:`ScenarioContext` bundling everything a
+scenario may act on: the simulator, the topology, and — when installed
+by :func:`repro.harness.experiment.run_experiment` — the protocol nodes,
+the source id, and the experiment seed.  Scenarios that only mutate
+links work in any context; scenarios that shape *membership* (e.g.
+``flash_crowd`` staggering node joins) publish their intent through
+``ctx.start_delays`` and the harness honors it.
+
+Legacy call sites that treat a scenario as a bare
+``scenario(sim, topology)`` installer keep working: ``Scenario``
+instances are callable with that signature and build a minimal context
+on the fly.
+"""
+
+from repro.common.rng import split_rng
+
+__all__ = [
+    "Scenario",
+    "ScenarioContext",
+    "ScenarioHandle",
+    "CompositeHandle",
+    "install_scenario",
+]
+
+
+class ScenarioContext:
+    """Everything a scenario may read or act on for one installation.
+
+    Parameters
+    ----------
+    sim:
+        The :class:`repro.sim.engine.Simulator` driving the run.
+    topology:
+        The :class:`repro.sim.topology.Topology` whose links the
+        scenario mutates.
+    nodes:
+        Optional ``{node_id: protocol}`` mapping (present when installed
+        by the experiment harness, absent for bare link-level use).
+    source_id:
+        The data source's node id, or None when unknown.  Scenarios must
+        never degrade the source into uselessness (it *is* the data).
+    seed:
+        The experiment seed; :meth:`rng` derives per-scenario streams
+        from it so scenarios never perturb each other's draws.
+    """
+
+    def __init__(self, sim, topology, *, nodes=None, source_id=None, seed=0):
+        self.sim = sim
+        self.topology = topology
+        self.nodes = nodes
+        self.source_id = source_id
+        self.seed = seed
+        #: node_id -> start delay in seconds; the harness starts those
+        #: nodes late (membership-shaping scenarios write this).
+        self.start_delays = {}
+
+    def rng(self, label, seed=None):
+        """An independent RNG stream for ``label`` (see ``split_rng``).
+
+        ``seed`` overrides the context seed (scenarios with an explicit
+        ``seed=`` config pass it here).
+        """
+        effective = self.seed if seed is None else seed
+        return split_rng(effective, f"scenario.{label}")
+
+    @property
+    def receivers(self):
+        """Node ids excluding the source (all nodes if no source known)."""
+        return [n for n in self.topology.nodes if n != self.source_id]
+
+    def core_links(self):
+        """Deterministically ordered ``[((src, dst), link), ...]``."""
+        return sorted(self.topology.core.items())
+
+
+class ScenarioHandle:
+    """Cancellation handle for one installed scenario.
+
+    ``add_timer`` tracks simulator timers; ``on_cancel`` registers
+    arbitrary teardown callbacks.  ``cancel`` is idempotent.
+    """
+
+    def __init__(self):
+        self._timers = []
+        self._teardowns = []
+        self.cancelled = False
+
+    def add_timer(self, timer):
+        self._timers.append(timer)
+        return timer
+
+    def on_cancel(self, fn):
+        self._teardowns.append(fn)
+        return fn
+
+    def periodic(self, sim, fn, *, start, period, duration=None):
+        """Run ``fn()`` every ``period`` seconds, tied to this handle.
+
+        The first firing happens ``start`` seconds after now; firing
+        stops when this handle is cancelled, when ``fn`` returns
+        ``False``, or once ``duration`` seconds have elapsed since
+        installation (``start``/``duration`` are install-relative, so
+        scenarios behave identically under the ``delay``/``repeat``
+        combinators).  This is the one shared implementation of the
+        scenario timer lifecycle — catalogue scenarios must not
+        hand-roll their own reschedule loops.
+        """
+        origin = sim.now
+        state = {"timer": None}
+
+        def fire():
+            if self.cancelled:
+                return
+            if fn() is False:
+                return
+            if duration is None or sim.now + period - origin <= duration:
+                state["timer"] = sim.schedule(period, fire)
+
+        state["timer"] = sim.schedule(start, fire)
+        self.on_cancel(
+            lambda: state["timer"] is not None and state["timer"].cancel()
+        )
+        return self
+
+    def cancel(self):
+        if self.cancelled:
+            return
+        self.cancelled = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for fn in self._teardowns:
+            fn()
+        self._teardowns.clear()
+
+
+class CompositeHandle:
+    """Cancels a group of child handles together (``compose``)."""
+
+    def __init__(self, handles=()):
+        self.handles = [h for h in handles if h is not None]
+        self.cancelled = False
+
+    def add(self, handle):
+        if handle is not None:
+            self.handles.append(handle)
+        return handle
+
+    def cancel(self):
+        if self.cancelled:
+            return
+        self.cancelled = True
+        for handle in self.handles:
+            handle.cancel()
+
+
+class Scenario:
+    """Base class for all dynamic-network scenarios.
+
+    Subclasses override :meth:`install` (and usually set :attr:`name`);
+    instances must be pure configuration so they can be installed more
+    than once.
+    """
+
+    #: Registry/display name; subclasses override.
+    name = "scenario"
+
+    def install(self, ctx):
+        """Install this scenario into ``ctx``; return a cancel handle."""
+        raise NotImplementedError
+
+    def __call__(self, sim, topology):
+        """Legacy installer signature: ``scenario(sim, topology)``."""
+        return self.install(ScenarioContext(sim, topology))
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+def install_scenario(scenario, ctx):
+    """Install ``scenario`` — a :class:`Scenario` or a legacy callable.
+
+    Returns the handle (or whatever the legacy installer returned,
+    possibly None).  Legacy installers only see ``(sim, topology)``.
+    """
+    if isinstance(scenario, Scenario):
+        return scenario.install(ctx)
+    return scenario(ctx.sim, ctx.topology)

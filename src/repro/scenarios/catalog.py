@@ -1,0 +1,470 @@
+"""The scenario catalogue: concrete dynamic-network models.
+
+Paper scenarios (section 4.1 / Figure 12) re-expressed on the
+:class:`~repro.scenarios.base.Scenario` base, plus the scenario classes
+the paper motivates but never scripts:
+
+- :class:`Static` — no dynamics (the control case).
+- :class:`CorrelatedDecreases` — the paper's periodic correlated
+  bandwidth-decrease process.
+- :class:`CascadingCuts` — Figure 12's one-more-sender-throttled-per-
+  period collapse of a single node's inbound links.
+- :class:`Oscillate` — periodic high-frequency capacity swings, the
+  cellular/5G regime where measured bandwidth oscillates on two-second
+  timescales.
+- :class:`FlashCrowd` — staggered receiver joins over a ramp interval.
+- :class:`Churn` — nodes drop to near-zero connectivity and come back.
+
+``trace_replay`` lives in :mod:`repro.scenarios.tracefile`; combinators
+in :mod:`repro.scenarios.combinators`.
+"""
+
+import math
+
+from repro.common.units import KBPS
+from repro.scenarios.base import Scenario, ScenarioContext, ScenarioHandle
+
+__all__ = [
+    "Static",
+    "CorrelatedDecreases",
+    "CascadingCuts",
+    "Oscillate",
+    "FlashCrowd",
+    "Churn",
+    "correlated_decreases",
+    "cascading_cuts",
+]
+
+
+class Static(Scenario):
+    """No dynamic conditions: the network stays exactly as built."""
+
+    name = "none"
+
+    def install(self, ctx):
+        return ScenarioHandle()
+
+
+class CorrelatedDecreases(Scenario):
+    """The paper's section-4.1 periodic correlated bandwidth decreases.
+
+    Every ``period`` seconds, pick ``victim_fraction`` of the nodes; for
+    each victim, pick ``source_fraction`` of the other nodes and multiply
+    the capacity of the core links from those nodes toward the victim by
+    ``factor``.  Cuts are cumulative and one-directional; ``floor``
+    bounds how far a link can degrade (a 2 Mbps core link reaches it
+    after six halvings), which keeps long runs tractable exactly as a
+    real emulator's resolution would.
+
+    ``start``/``stop`` (like every catalogue scenario's) are measured
+    from installation, so behavior is identical under the ``delay`` and
+    ``repeat`` combinators.
+    """
+
+    name = "correlated_decreases"
+
+    def __init__(
+        self,
+        seed=None,
+        period=20.0,
+        victim_fraction=0.5,
+        source_fraction=0.5,
+        factor=0.5,
+        floor=32 * KBPS,
+        start=None,
+        stop=None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        self.seed = seed
+        self.period = period
+        self.victim_fraction = victim_fraction
+        self.source_fraction = source_fraction
+        self.factor = factor
+        self.floor = floor
+        self.start = start
+        self.stop = stop
+
+    def install(self, ctx):
+        topology = ctx.topology
+        rng = ctx.rng("correlated", self.seed)
+        nodes = list(topology.nodes)
+        handle = ScenarioHandle()
+
+        def fire():
+            victims = rng.sample(
+                nodes, max(1, int(len(nodes) * self.victim_fraction))
+            )
+            for victim in victims:
+                others = [n for n in nodes if n != victim]
+                sources = rng.sample(
+                    others, max(1, int(len(others) * self.source_fraction))
+                )
+                for source in sources:
+                    link = topology.core.get((source, victim))
+                    if (
+                        link is not None
+                        and link.capacity * self.factor >= self.floor
+                    ):
+                        link.scale_capacity(self.factor)
+
+        return handle.periodic(
+            ctx.sim,
+            fire,
+            start=self.period if self.start is None else self.start,
+            period=self.period,
+            duration=self.stop,
+        )
+
+
+class CascadingCuts(Scenario):
+    """Figure 12's cascading slowdowns of one node's inbound links.
+
+    Every ``period`` seconds the next sender's core link toward
+    ``target`` is set to ``throttled_bw``; after ``len(senders)``
+    periods the target is fully throttled.  ``target``/``senders``
+    default to the highest-numbered receiver and everyone else (minus
+    the source), so the scenario is runnable on any topology.
+    """
+
+    name = "cascading_cuts"
+
+    def __init__(
+        self,
+        target=None,
+        senders=None,
+        period=25.0,
+        throttled_bw=100 * KBPS,
+        start=None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        self.target = target
+        self.senders = None if senders is None else list(senders)
+        self.period = period
+        self.throttled_bw = throttled_bw
+        self.start = start
+
+    def _resolve(self, ctx):
+        target = self.target
+        if target is None:
+            candidates = ctx.receivers or list(ctx.topology.nodes)
+            target = max(candidates)
+        if self.senders is not None:
+            senders = list(self.senders)
+        else:
+            senders = [
+                n
+                for n in ctx.topology.nodes
+                if n != target and n != ctx.source_id
+            ]
+        return target, senders
+
+    def install(self, ctx):
+        topology = ctx.topology
+        target, remaining = self._resolve(ctx)
+        handle = ScenarioHandle()
+
+        def fire():
+            if not remaining:
+                return False
+            sender = remaining.pop(0)
+            link = topology.core.get((sender, target))
+            if link is not None and link.capacity > self.throttled_bw:
+                link.capacity = self.throttled_bw
+            return bool(remaining)
+
+        return handle.periodic(
+            ctx.sim,
+            fire,
+            start=self.period if self.start is None else self.start,
+            period=self.period,
+        )
+
+
+class Oscillate(Scenario):
+    """Periodic high-frequency bandwidth swings on every core link.
+
+    Models the cellular/5G regime where available bandwidth oscillates
+    on second timescales: each core link's capacity tracks a factor
+    ``f(t)`` swinging between ``low`` and ``high`` (fractions of the
+    capacity at installation) with the given ``period``.  ``wave`` is
+    ``"sine"`` (smooth) or ``"square"`` (hard up/down switches).  With
+    ``phase_jitter`` each link gets a random phase so the whole network
+    does not breathe in lockstep.
+
+    The swing is applied *relatively* — each tick multiplies the
+    current capacity by ``f(t) / f(t_prev)`` — so capacity changes made
+    by composed scenarios (churn taking a node dark, correlated cuts,
+    a replayed trace) persist underneath the oscillation instead of
+    being overwritten.
+    """
+
+    name = "oscillate"
+
+    def __init__(
+        self,
+        period=2.0,
+        low=0.25,
+        high=1.0,
+        wave="sine",
+        sample_period=None,
+        phase_jitter=True,
+        start=0.0,
+        stop=None,
+        seed=None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if not 0.0 < low <= high:
+            raise ValueError(
+                f"need 0 < low <= high, got low={low} high={high}"
+            )
+        if wave not in ("sine", "square"):
+            raise ValueError(f"wave must be 'sine' or 'square', got {wave!r}")
+        if sample_period is not None and sample_period <= 0:
+            raise ValueError(
+                f"sample_period must be > 0, got {sample_period}"
+            )
+        self.period = period
+        self.low = low
+        self.high = high
+        self.wave = wave
+        self.sample_period = sample_period
+        self.phase_jitter = phase_jitter
+        self.start = start
+        self.stop = stop
+        self.seed = seed
+
+    def _factor(self, elapsed, phase):
+        cycles = elapsed / self.period + phase
+        if self.wave == "square":
+            return self.high if (cycles % 1.0) < 0.5 else self.low
+        mid = (self.high + self.low) / 2.0
+        amp = (self.high - self.low) / 2.0
+        return mid + amp * math.sin(2.0 * math.pi * cycles)
+
+    def install(self, ctx):
+        sim = ctx.sim
+        rng = ctx.rng("oscillate", self.seed)
+        #: [link, phase, previously applied factor]
+        links = []
+        for _pair, link in ctx.core_links():
+            phase = rng.random() if self.phase_jitter else 0.0
+            links.append([link, phase, 1.0])
+        sample = self.sample_period or self.period / 8.0
+        origin = sim.now + self.start
+        handle = ScenarioHandle()
+
+        def tick():
+            elapsed = sim.now - origin
+            for entry in links:
+                link, phase, previous = entry
+                factor = self._factor(elapsed, phase)
+                link.scale_capacity(factor / previous)
+                entry[2] = factor
+
+        return handle.periodic(
+            sim, tick, start=self.start, period=sample, duration=self.stop
+        )
+
+
+class FlashCrowd(Scenario):
+    """Staggered receiver joins: the crowd arrives over a ramp interval.
+
+    Each receiver's start is delayed by ``start`` plus a uniform draw in
+    ``[0, ramp]`` seconds.  Membership shaping is published through
+    ``ctx.start_delays``, which the experiment harness honors; installed
+    against a bare ``(sim, topology)`` pair the scenario has no effect
+    (there are no nodes to delay).
+    """
+
+    name = "flash_crowd"
+
+    def __init__(self, ramp=30.0, start=0.0, seed=None):
+        if ramp < 0:
+            raise ValueError(f"ramp must be >= 0, got {ramp}")
+        self.ramp = ramp
+        self.start = start
+        self.seed = seed
+
+    def install(self, ctx):
+        rng = ctx.rng("flash_crowd", self.seed)
+        for node in ctx.receivers:
+            ctx.start_delays[node] = self.start + rng.uniform(0.0, self.ramp)
+        return ScenarioHandle()
+
+
+class Churn(Scenario):
+    """Connectivity churn: nodes go dark and come back.
+
+    Every ``period`` seconds, ``fraction`` of the receivers (at least
+    one) that are currently online go *offline*: every core link into or
+    out of them collapses to ``offline_capacity`` (a trickle — capacity
+    must stay positive).  ``down_time`` seconds later their links are
+    scaled back up by the ratio recorded when the node left —
+    a multiplicative restore, so capacity changes applied by composed
+    scenarios (an oscillation tick, a correlated cut) while the node was
+    dark persist instead of being overwritten.  The source is never
+    churned; cancelling the scenario restores everyone.
+
+    This is network-level churn — the node's process keeps running but
+    its connectivity is gone — which stresses exactly the mesh-repair
+    behavior the paper's section-1 reliability argument is about.
+    """
+
+    name = "churn"
+
+    def __init__(
+        self,
+        period=20.0,
+        down_time=10.0,
+        fraction=0.1,
+        offline_capacity=16.0,
+        start=None,
+        stop=None,
+        seed=None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if down_time <= 0:
+            raise ValueError(f"down_time must be > 0, got {down_time}")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if offline_capacity <= 0:
+            raise ValueError(
+                f"offline_capacity must be > 0, got {offline_capacity}"
+            )
+        self.period = period
+        self.down_time = down_time
+        self.fraction = fraction
+        self.offline_capacity = offline_capacity
+        self.start = start
+        self.stop = stop
+        self.seed = seed
+
+    def install(self, ctx):
+        sim, topology = ctx.sim, ctx.topology
+        rng = ctx.rng("churn", self.seed)
+        candidates = list(ctx.receivers)
+        handle = ScenarioHandle()
+        offline = set()
+        #: (src, dst) -> [restore ratio, offline endpoint count].  Two
+        #: simultaneously-offline nodes share their connecting link, so
+        #: it only recovers when *both* endpoints are back.  The ratio
+        #: (capacity at darkening / offline_capacity) is applied
+        #: multiplicatively on restore: entering at capacity c*f and
+        #: restoring by c*f/offline yields base*f' if a composed
+        #: scenario moved the factor from f to f' meanwhile — absolute
+        #: save/restore would not commute and would compound errors.
+        dark = {}
+
+        def take_offline(node):
+            offline.add(node)
+            for pair, link in ctx.core_links():
+                if node not in pair:
+                    continue
+                entry = dark.get(pair)
+                if entry is None:
+                    dark[pair] = [link.capacity / self.offline_capacity, 1]
+                    link.capacity = self.offline_capacity
+                else:
+                    entry[1] += 1
+
+        def restore(node):
+            if node not in offline:
+                return
+            offline.discard(node)
+            for pair in list(dark):
+                if node not in pair:
+                    continue
+                entry = dark[pair]
+                entry[1] -= 1
+                if entry[1] == 0:
+                    topology.core[pair].scale_capacity(entry[0])
+                    del dark[pair]
+
+        def fire():
+            online = [n for n in candidates if n not in offline]
+            count = max(1, int(len(candidates) * self.fraction))
+            for node in rng.sample(online, min(count, len(online))):
+                take_offline(node)
+                handle.add_timer(
+                    sim.schedule(self.down_time, lambda n=node: restore(n))
+                )
+
+        handle.periodic(
+            sim,
+            fire,
+            start=self.period if self.start is None else self.start,
+            period=self.period,
+            duration=self.stop,
+        )
+
+        def restore_everyone():
+            for node in list(offline):
+                restore(node)
+
+        handle.on_cancel(restore_everyone)
+        return handle
+
+
+# -- legacy installer functions ----------------------------------------------
+#
+# The original ``repro.sim.scenario`` API: plain functions called as
+# ``f(sim, topology, ...)`` returning a cancel handle.  They now build
+# the equivalent Scenario and install it immediately; behavior (RNG
+# stream, scheduling order) is unchanged.
+
+
+def correlated_decreases(
+    sim,
+    topology,
+    seed=0,
+    period=20.0,
+    victim_fraction=0.5,
+    source_fraction=0.5,
+    factor=0.5,
+    floor=32 * KBPS,
+    start=None,
+    stop=None,
+):
+    """Install the paper's periodic correlated bandwidth-decrease process.
+
+    Legacy wrapper around :class:`CorrelatedDecreases`; returns a handle
+    with ``cancel()``.
+    """
+    scenario = CorrelatedDecreases(
+        seed=seed,
+        period=period,
+        victim_fraction=victim_fraction,
+        source_fraction=source_fraction,
+        factor=factor,
+        floor=floor,
+        start=start,
+        stop=stop,
+    )
+    return scenario.install(ScenarioContext(sim, topology))
+
+
+def cascading_cuts(
+    sim,
+    topology,
+    target,
+    senders,
+    period=25.0,
+    throttled_bw=100 * KBPS,
+    start=None,
+):
+    """Install Figure 12's cascading slowdowns (legacy wrapper around
+    :class:`CascadingCuts`); returns a handle with ``cancel()``."""
+    scenario = CascadingCuts(
+        target=target,
+        senders=senders,
+        period=period,
+        throttled_bw=throttled_bw,
+        start=start,
+    )
+    return scenario.install(ScenarioContext(sim, topology))

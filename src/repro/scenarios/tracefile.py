@@ -1,0 +1,213 @@
+"""Record and replay per-link capacity traces.
+
+A *trace* is a time-ordered list of capacity events::
+
+    {"t": 12.5, "link": "3->7", "capacity": 125000.0}
+    {"t": 15.0, "link": "*",    "scale": 0.5}
+
+``link`` names a core link as ``"src->dst"`` (node ids) or ``"*"`` for
+every core link; an event either sets an absolute ``capacity`` in
+bytes/second or multiplies the current capacity by ``scale``.
+
+- :class:`TraceRecorder` — a scenario that samples every core link at a
+  fixed period and appends an event whenever a capacity changed (plus
+  the full baseline at install time).  ``save()`` writes the JSON trace
+  file; any run can thus be recorded and replayed later.
+- :class:`TraceReplay` — a scenario that drives link capacities from a
+  trace (in-memory events or a file), so measured conditions — a 5G
+  drive trace, a recorded experiment — can be imposed on any system.
+
+Round-tripping is exact: replaying a recorded trace while recording
+again yields the identical event list (see the trace round-trip test).
+"""
+
+import json
+
+from repro.scenarios.base import Scenario, ScenarioHandle
+
+__all__ = [
+    "TraceRecorder",
+    "TraceReplay",
+    "read_trace",
+    "write_trace",
+]
+
+TRACE_VERSION = 1
+
+
+def _link_key(pair):
+    src, dst = pair
+    return f"{src}->{dst}"
+
+
+def _parse_link(key):
+    """``"3->7"`` -> ``(3, 7)`` (ids parsed back to int when numeric)."""
+    src, _, dst = key.partition("->")
+    if not _:
+        raise ValueError(f"malformed link key {key!r}")
+
+    def coerce(s):
+        return int(s) if s.lstrip("-").isdigit() else s
+
+    return coerce(src), coerce(dst)
+
+
+def write_trace(path, events, sample_period=None):
+    """Write ``events`` as a JSON trace file."""
+    doc = {"version": TRACE_VERSION, "events": list(events)}
+    if sample_period is not None:
+        doc["sample_period"] = sample_period
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+
+def read_trace(path):
+    """Read a trace file written by :func:`write_trace`; returns events."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    version = doc.get("version")
+    if version != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {version!r} in {path}")
+    return doc["events"]
+
+
+class TraceRecorder(Scenario):
+    """Record every core link's capacity schedule while a run executes.
+
+    At install time the full baseline is captured as events at the
+    current simulated time; afterwards the links are sampled every
+    ``sample_period`` seconds (offset by ``start``) and any capacity
+    change is appended as an event.  Changes faster than the sample
+    period collapse to the sampled schedule — the recorded trace *is*
+    the contract a replay reproduces.
+
+    One recorder instance accumulates across installs into ``events``;
+    call :meth:`reset` (or use a fresh instance) per recording.
+    """
+
+    name = "trace_record"
+
+    def __init__(self, sample_period=1.0, start=0.0):
+        if sample_period <= 0:
+            raise ValueError(
+                f"sample_period must be > 0, got {sample_period}"
+            )
+        self.sample_period = sample_period
+        self.start = start
+        self.events = []
+
+    def reset(self):
+        self.events = []
+
+    def save(self, path):
+        write_trace(path, self.events, sample_period=self.sample_period)
+        return path
+
+    def install(self, ctx):
+        sim = ctx.sim
+        links = ctx.core_links()
+        last = {}
+        for pair, link in links:
+            last[pair] = link.capacity
+            self.events.append(
+                {
+                    "t": sim.now,
+                    "link": _link_key(pair),
+                    "capacity": link.capacity,
+                }
+            )
+        handle = ScenarioHandle()
+
+        def tick():
+            for pair, link in links:
+                if link.capacity != last[pair]:
+                    last[pair] = link.capacity
+                    self.events.append(
+                        {
+                            "t": sim.now,
+                            "link": _link_key(pair),
+                            "capacity": link.capacity,
+                        }
+                    )
+
+        return handle.periodic(
+            sim,
+            tick,
+            start=self.start + self.sample_period,
+            period=self.sample_period,
+        )
+
+
+#: Default demo schedule used when ``TraceReplay`` is built with no
+#: trace: halve every core link mid-run, then restore — a minimal
+#: network-wide capacity dip expressible on any topology.
+DEMO_EVENTS = (
+    {"t": 15.0, "link": "*", "scale": 0.5},
+    {"t": 45.0, "link": "*", "scale": 2.0},
+)
+
+
+class TraceReplay(Scenario):
+    """Drive per-link capacities from a recorded ``(time, bandwidth)`` trace.
+
+    ``events`` is a list of event dicts (see the module docstring);
+    ``path`` loads one from a trace file instead.  With neither, a small
+    built-in demo schedule (a network-wide dip-and-recover) is used so
+    the scenario is runnable out of the box.  Events whose time is
+    already past at install are applied immediately; unknown links are
+    ignored (a trace recorded on one topology replays its intersection
+    onto another).
+    """
+
+    name = "trace_replay"
+
+    def __init__(self, events=None, path=None, time_scale=1.0):
+        if events is not None and path is not None:
+            raise ValueError("pass events or path, not both")
+        if time_scale <= 0:
+            raise ValueError(f"time_scale must be > 0, got {time_scale}")
+        if path is not None:
+            events = read_trace(path)
+        elif events is None:
+            events = [dict(e) for e in DEMO_EVENTS]
+        self.events = [dict(e) for e in events]
+        self.time_scale = time_scale
+        for event in self.events:
+            if "t" not in event or "link" not in event:
+                raise ValueError(f"trace event missing t/link: {event!r}")
+            if ("capacity" in event) == ("scale" in event):
+                raise ValueError(
+                    f"trace event needs exactly one of capacity/scale: "
+                    f"{event!r}"
+                )
+
+    def _targets(self, ctx, key):
+        if key == "*":
+            return [link for _pair, link in ctx.core_links()]
+        link = ctx.topology.core.get(_parse_link(key))
+        return [] if link is None else [link]
+
+    def install(self, ctx):
+        sim = ctx.sim
+        origin = sim.now
+        handle = ScenarioHandle()
+
+        def apply(event):
+            if handle.cancelled:
+                return
+            for link in self._targets(ctx, event["link"]):
+                if "capacity" in event:
+                    link.capacity = event["capacity"]
+                else:
+                    link.scale_capacity(event["scale"])
+
+        for event in sorted(self.events, key=lambda e: e["t"]):
+            at = origin + event["t"] * self.time_scale
+            if at <= sim.now:
+                apply(event)
+            else:
+                handle.add_timer(
+                    sim.schedule_at(at, lambda e=event: apply(e))
+                )
+        return handle

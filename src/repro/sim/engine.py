@@ -17,19 +17,27 @@ class Timer:
     Cancellation is lazy: the heap entry stays in place and is skipped
     when popped.  This keeps ``cancel()`` O(1), which matters because the
     transport reschedules transmission-complete events on every rate
-    change.
+    change.  The simulator counts cancelled entries and compacts its
+    heap once they dominate, so long runs with frequent reschedules do
+    not grow the heap unboundedly.
     """
 
-    __slots__ = ("time", "_callback", "_cancelled")
+    __slots__ = ("time", "_callback", "_cancelled", "_sim")
 
-    def __init__(self, time, callback):
+    def __init__(self, time, callback, sim=None):
         self.time = time
         self._callback = callback
         self._cancelled = False
+        self._sim = sim
 
     def cancel(self):
+        if self._cancelled:
+            return
         self._cancelled = True
         self._callback = None
+        if self._sim is not None:
+            sim, self._sim = self._sim, None
+            sim._note_cancelled()
 
     @property
     def cancelled(self):
@@ -48,10 +56,15 @@ class Simulator:
     ['a', 'b']
     """
 
+    #: Skip compaction below this heap size: tiny heaps are cheap to
+    #: scan and compacting them would just thrash.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self):
         self.now = 0.0
         self._heap = []
         self._sequence = 0
+        self._cancelled_count = 0
         self._running = False
         self._stopped = False
 
@@ -67,10 +80,26 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule in the past: {time} < now {self.now}"
             )
-        timer = Timer(time, callback)
+        timer = Timer(time, callback, self)
         heapq.heappush(self._heap, (time, self._sequence, timer))
         self._sequence += 1
         return timer
+
+    def _note_cancelled(self):
+        """A live heap entry was cancelled; compact once they dominate.
+
+        Compaction rebuilds the heap from the surviving ``(time, seq,
+        timer)`` entries, so pop order — and therefore determinism — is
+        unchanged.
+        """
+        self._cancelled_count += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_count * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e[2].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_count = 0
 
     def schedule_periodic(self, period, callback, jitter_rng=None):
         """Run ``callback()`` every ``period`` seconds until it returns False.
@@ -126,7 +155,11 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 if timer.cancelled:
+                    self._cancelled_count = max(0, self._cancelled_count - 1)
                     continue
+                # The entry left the heap; a late cancel() must not
+                # count toward the compaction threshold.
+                timer._sim = None
                 self.now = time
                 callback = timer._callback
                 timer._callback = None
@@ -138,5 +171,6 @@ class Simulator:
 
     @property
     def pending_events(self):
-        """Number of events in the heap, including cancelled ones."""
+        """Number of events in the heap, including cancelled entries
+        that have not been compacted away yet."""
         return len(self._heap)

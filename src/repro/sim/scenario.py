@@ -1,114 +1,22 @@
-"""Scripted dynamic network conditions.
+"""Compatibility shim — the scenario engine moved to :mod:`repro.scenarios`.
 
-Two scenarios from the paper:
+This module used to hold the repo's only two dynamic-network scripts as
+hardcoded functions.  Dynamic conditions are now first-class: the
+:mod:`repro.scenarios` package provides the :class:`~repro.scenarios.Scenario`
+base class, a catalogue (``none``, ``correlated_decreases``,
+``cascading_cuts``, ``oscillate``, ``flash_crowd``, ``churn``,
+``trace_replay``), combinators (``compose``/``delay``/``repeat``), and
+trace record/replay — all registered by name in
+:data:`repro.harness.registry.SCENARIOS` and runnable against every
+system via ``python -m repro run``.
 
-- :func:`correlated_decreases` — section 4.1's bandwidth-change model:
-  every 20 seconds, pick 50% of nodes; for each, pick 50% of the other
-  nodes and halve the capacity of the core links from those nodes toward
-  it.  Cuts are cumulative and one-directional.
-- :func:`cascading_cuts` — Figure 12: every 25 seconds throttle one more
-  of the target node's sender links to 100 Kbps until all are throttled.
+Import from :mod:`repro.scenarios` in new code.  The original call
+sites keep working: :func:`~repro.scenarios.correlated_decreases` and
+:func:`~repro.scenarios.cascading_cuts` are re-exported here with their
+original ``f(sim, topology, ...) -> handle`` signatures and unchanged
+behavior (same RNG streams, same schedules).
 """
 
-from repro.common.rng import split_rng
-from repro.common.units import KBPS
+from repro.scenarios import cascading_cuts, correlated_decreases
 
 __all__ = ["correlated_decreases", "cascading_cuts"]
-
-
-def correlated_decreases(
-    sim,
-    topology,
-    seed=0,
-    period=20.0,
-    victim_fraction=0.5,
-    source_fraction=0.5,
-    factor=0.5,
-    floor=32 * KBPS,
-    start=None,
-    stop=None,
-):
-    """Install the paper's periodic correlated bandwidth-decrease process.
-
-    Capacity cuts apply to core links *into* each chosen victim from each
-    chosen source, multiplying current capacity by ``factor`` — i.e. the
-    cuts compound over time, exactly as described in section 4.1.
-    ``floor`` bounds how far a link can degrade (a 2 Mbps core link
-    reaches it after six cuts); an emulator has the same practical bound,
-    and it keeps long runs tractable.
-
-    Returns a handle with ``cancel()``.
-    """
-    rng = split_rng(seed, "scenario.correlated")
-    nodes = list(topology.nodes)
-    if start is None:
-        start = period
-
-    state = {"timer": None, "cancelled": False}
-
-    def fire():
-        if state["cancelled"]:
-            return
-        victims = rng.sample(nodes, max(1, int(len(nodes) * victim_fraction)))
-        for victim in victims:
-            others = [n for n in nodes if n != victim]
-            sources = rng.sample(
-                others, max(1, int(len(others) * source_fraction))
-            )
-            for source in sources:
-                link = topology.core.get((source, victim))
-                if link is not None and link.capacity * factor >= floor:
-                    link.scale_capacity(factor)
-        if stop is None or sim.now + period <= stop:
-            state["timer"] = sim.schedule(period, fire)
-
-    state["timer"] = sim.schedule_at(start, fire)
-
-    class _Handle:
-        def cancel(self):
-            state["cancelled"] = True
-            if state["timer"] is not None:
-                state["timer"].cancel()
-
-    return _Handle()
-
-
-def cascading_cuts(
-    sim,
-    topology,
-    target,
-    senders,
-    period=25.0,
-    throttled_bw=100 * KBPS,
-    start=None,
-):
-    """Figure 12's cascading slowdowns.
-
-    Every ``period`` seconds, the capacity of the next sender's link
-    toward ``target`` is set to ``throttled_bw``; after
-    ``len(senders)`` periods the target is fully throttled.
-    """
-    if start is None:
-        start = period
-    remaining = list(senders)
-    state = {"timer": None, "cancelled": False}
-
-    def fire():
-        if state["cancelled"] or not remaining:
-            return
-        sender = remaining.pop(0)
-        link = topology.core.get((sender, target))
-        if link is not None and link.capacity > throttled_bw:
-            link.capacity = throttled_bw
-        if remaining:
-            state["timer"] = sim.schedule(period, fire)
-
-    state["timer"] = sim.schedule_at(start, fire)
-
-    class _Handle:
-        def cancel(self):
-            state["cancelled"] = True
-            if state["timer"] is not None:
-                state["timer"].cancel()
-
-    return _Handle()

@@ -75,10 +75,19 @@ class TcpModel:
 
 
 class Flow:
-    """One direction of a TCP connection, as seen by the allocator."""
+    """One direction of a TCP connection, as seen by the allocator.
+
+    ``seq`` is the creation sequence number assigned by the network; the
+    allocator orders flows by it so that allocation (and therefore rate-
+    change callback order, event sequencing, and ultimately experiment
+    results) never depends on object identity — iterating a ``set`` of
+    flows follows ``id()``, i.e. memory addresses, which vary with
+    process allocation history.
+    """
 
     __slots__ = (
         "name",
+        "seq",
         "links",
         "mathis_cap",
         "rtt",
@@ -93,6 +102,7 @@ class Flow:
 
     def __init__(self, name, links, model, started_at):
         self.name = name
+        self.seq = -1
         self.links = tuple(links)
         self.mathis_cap = model.mathis_cap(links)
         self.rtt = model.path_rtt(links)
@@ -131,6 +141,7 @@ class FlowNetwork:
         self.model = model if model is not None else TcpModel()
         self.reallocation_interval = reallocation_interval
         self._active_flows = set()
+        self._flow_seq = 0
         self._dirty = False
         self._realloc_scheduled = False
         self._ramping = False
@@ -140,6 +151,8 @@ class FlowNetwork:
 
     def new_flow(self, name, links):
         flow = Flow(name, links, self.model, started_at=self.sim.now)
+        flow.seq = self._flow_seq
+        self._flow_seq += 1
         flow._network = self
         for link in links:
             if link.on_capacity_change is None:
@@ -203,16 +216,20 @@ class FlowNetwork:
         flows at the tightest link.
         """
         self.reallocations += 1
-        flows = list(self._active_flows)
+        # Deterministic orders throughout: flows by creation sequence,
+        # links by first appearance along that order.  Iterating the
+        # underlying sets directly would follow id() (memory addresses)
+        # and make results depend on process allocation history.
+        flows = sorted(self._active_flows, key=lambda f: f.seq)
         if not flows:
             return
         self._ramping = False
         caps = {flow: self.flow_cap(flow) for flow in flows}
         remaining = {}
         unfrozen_per_link = {}
-        links = set()
-        for flow in flows:
-            links.update(flow.links)
+        links = list(
+            dict.fromkeys(link for flow in flows for link in flow.links)
+        )
         for link in links:
             remaining[link] = link.capacity
             unfrozen_per_link[link] = len(link.flows)
@@ -231,13 +248,16 @@ class FlowNetwork:
             if bottleneck_share is math.inf:
                 # All remaining flows traverse only frozen links (cannot
                 # happen with positive capacities, but guard anyway).
-                for flow in unfrozen:
+                for flow in sorted(unfrozen, key=lambda f: f.seq):
                     allocation[flow] = caps[flow]
                 break
 
             # Freeze cap-limited flows first: any unfrozen flow whose cap
             # is at or below the current fair share gets exactly its cap.
-            cap_limited = [f for f in unfrozen if caps[f] <= bottleneck_share]
+            cap_limited = [
+                f for f in flows
+                if f in unfrozen and caps[f] <= bottleneck_share
+            ]
             if cap_limited:
                 for flow in cap_limited:
                     rate = caps[flow]
@@ -250,11 +270,11 @@ class FlowNetwork:
 
             # Otherwise freeze every flow on the bottleneck link(s).
             frozen_any = False
-            for link in list(links):
+            for link in links:
                 if unfrozen_per_link[link] == 0:
                     continue
                 if remaining[link] / unfrozen_per_link[link] <= bottleneck_share * (1 + 1e-12):
-                    for flow in list(link.flows):
+                    for flow in sorted(link.flows, key=lambda f: f.seq):
                         if flow not in unfrozen:
                             continue
                         allocation[flow] = bottleneck_share
@@ -264,7 +284,7 @@ class FlowNetwork:
                             remaining[flow_link] -= bottleneck_share
                             unfrozen_per_link[flow_link] -= 1
             if not frozen_any:  # numerical corner: freeze everything
-                for flow in list(unfrozen):
+                for flow in sorted(unfrozen, key=lambda f: f.seq):
                     allocation[flow] = min(bottleneck_share, caps[flow])
                     unfrozen.discard(flow)
 

@@ -333,7 +333,11 @@ class Endpoint:
         #: ``on_accept(connection)`` is invoked when a remote node's
         #: connect completes; protocols assign it before starting.
         self.on_accept = None
-        self.connections = set()
+        #: Open connections in creation order (dict-as-ordered-set:
+        #: iterating a plain set would follow id(), i.e. memory
+        #: addresses, making close order — and with it event ordering
+        #: under failures/churn — depend on allocation history).
+        self.connections = {}
 
     def connect(self, remote_id, on_connect):
         """Open a connection to ``remote_id``.
@@ -359,7 +363,7 @@ class Endpoint:
         network.sim.schedule(rtt, established)
 
     def _forget(self, connection):
-        self.connections.discard(connection)
+        self.connections.pop(connection, None)
 
 
 class Network:
@@ -402,6 +406,6 @@ class Network:
         delay_ba = sum(link.delay for link in path_ba)
         conn_ab._out_channel = Channel(self, conn_ab, flow_ab, delay_ab)
         conn_ba._out_channel = Channel(self, conn_ba, flow_ba, delay_ba)
-        self.endpoint(a).connections.add(conn_ab)
-        self.endpoint(b).connections.add(conn_ba)
+        self.endpoint(a).connections[conn_ab] = None
+        self.endpoint(b).connections[conn_ba] = None
         return conn_ab, conn_ba

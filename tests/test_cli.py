@@ -1,5 +1,7 @@
 """Tests for the command-line entry point."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -23,3 +25,86 @@ def test_cli_scale_flags_ignored_where_inapplicable(capsys):
     code = main(["fig12", "--nodes", "8", "--blocks", "96", "--seed", "1"])
     assert code == 0
     assert "fig12" in capsys.readouterr().out
+
+
+def test_cli_run_json(capsys):
+    code = main(
+        [
+            "run",
+            "--system",
+            "bulletprime",
+            "--scenario",
+            "oscillate",
+            "--nodes",
+            "8",
+            "--blocks",
+            "24",
+            "--json",
+        ]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["system"] == "bullet_prime"  # alias resolved
+    assert doc["scenario"] == "oscillate"
+    assert doc["summary"]["nodes"] == 8
+    assert doc["summary"]["median"] > 0.0
+
+
+def test_cli_run_text_output(capsys):
+    code = main(
+        ["run", "--system", "bt", "--scenario", "static", "--nodes", "8",
+         "--blocks", "16"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "bittorrent under none" in out
+    assert "median" in out
+
+
+def test_cli_run_unknown_names_fail_cleanly(capsys):
+    code = main(["run", "--system", "napster", "--nodes", "4", "--blocks", "8"])
+    assert code == 2
+    assert "unknown system" in capsys.readouterr().err
+
+
+def test_cli_run_trace_flag_requires_trace_replay(capsys):
+    code = main(["run", "--scenario", "oscillate", "--trace", "x.json"])
+    assert code == 2
+    assert "trace_replay" in capsys.readouterr().err
+
+
+def test_cli_run_trace_replay_from_file(tmp_path, capsys):
+    from repro.scenarios import write_trace
+
+    path = tmp_path / "t.json"
+    write_trace(path, [{"t": 2.0, "link": "*", "scale": 0.5}])
+    code = main(
+        ["run", "--scenario", "trace", "--trace", str(path), "--nodes", "6",
+         "--blocks", "16", "--json"]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["scenario"] == "trace_replay"
+    assert doc["summary"]["finished"] is True
+
+
+def test_cli_list(capsys):
+    code = main(["list"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for section in ("systems:", "scenarios:", "workloads:"):
+        assert section in out
+    for name in ("bullet_prime", "oscillate", "trace_replay", "flash_crowd"):
+        assert name in out
+    assert "fig4" in out
+
+
+def test_cli_list_json(capsys):
+    code = main(["list", "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert {e["name"] for e in doc["systems"]} == {
+        "bullet_prime", "bullet", "bittorrent", "splitstream"
+    }
+    assert "oscillate" in {e["name"] for e in doc["scenarios"]}
+    assert "fig5" in doc["figures"]

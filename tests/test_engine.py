@@ -152,6 +152,78 @@ class TestPeriodic:
         assert all(0.89 <= g <= 1.11 for g in gaps)
 
 
+class TestHeapCompaction:
+    """Cancelled entries must not accumulate (the transport reschedules
+    transmission-complete timers on every rate change, so long runs used
+    to grow the heap unboundedly)."""
+
+    def test_cancel_heavy_heap_is_compacted(self):
+        sim = Simulator()
+        timers = [sim.schedule(1000.0 + i, lambda: None) for i in range(1000)]
+        for timer in timers[:900]:
+            timer.cancel()
+        # >50% of the heap was cancelled; compaction kicked in and only
+        # live entries (plus at most a sub-majority of cancelled ones)
+        # remain.
+        assert sim.pending_events < 250
+        assert sim.pending_events >= 100
+
+    def test_reschedule_loop_keeps_heap_bounded(self):
+        # The transport's pattern: cancel + reschedule, thousands of
+        # times, with a far-future deadline that is never reached.
+        sim = Simulator()
+        live = []
+        for i in range(10_000):
+            live.append(sim.schedule(500.0 + (i % 7), lambda: None))
+            if len(live) > 50:
+                live.pop(0).cancel()
+        assert sim.pending_events < 200
+
+    def test_compaction_preserves_order_and_results(self):
+        # The same schedule/cancel pattern with and without compaction
+        # pressure must fire surviving callbacks in the same order.
+        def run(cancel_fraction):
+            sim = Simulator()
+            fired = []
+            timers = []
+            for i in range(300):
+                timers.append(
+                    sim.schedule(1.0 + (i % 13), lambda i=i: fired.append(i))
+                )
+            for i, timer in enumerate(timers):
+                if i % 3 < cancel_fraction:
+                    timer.cancel()
+            sim.run()
+            return fired
+
+        expected = [
+            i for i in range(300) if i % 3 >= 2
+        ]
+        fired = run(2)
+        assert sorted(fired) == expected
+        # Time order with FIFO tie-break: stable sort by (time, seq).
+        assert fired == sorted(fired, key=lambda i: (1.0 + (i % 13), i))
+
+    def test_small_heaps_never_compact(self):
+        sim = Simulator()
+        a = sim.schedule(5.0, lambda: None)
+        a.cancel()
+        assert sim.pending_events == 1  # lazy entry stays below the floor
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        fired = []
+        timers = [
+            sim.schedule(1.0 + i * 0.001, lambda i=i: fired.append(i))
+            for i in range(100)
+        ]
+        sim.run()
+        for timer in timers:
+            timer.cancel()  # late cancels of already-fired timers
+        assert sim._cancelled_count == 0
+        assert len(fired) == 100
+
+
 def test_reentrant_run_rejected():
     sim = Simulator()
 

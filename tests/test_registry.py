@@ -1,0 +1,110 @@
+"""Tests for the unified name registries."""
+
+import pytest
+
+from repro.harness.registry import Registry, SCENARIOS, SYSTEMS, WORKLOADS
+from repro.harness.systems import SYSTEM_FACTORIES
+from repro.scenarios import Scenario
+
+
+class TestRegistryMechanics:
+    def _reg(self):
+        reg = Registry("thing")
+        reg.register("alpha_beta", lambda: "ab", aliases=("ab",), description="d")
+        reg.register("gamma", lambda x=1: x * 2)
+        return reg
+
+    def test_exact_and_alias_lookup(self):
+        reg = self._reg()
+        assert reg.get("alpha_beta").name == "alpha_beta"
+        assert reg.get("ab").name == "alpha_beta"
+
+    def test_normalized_lookup(self):
+        reg = self._reg()
+        # Case, dashes and underscores are ignored.
+        assert reg.get("AlphaBeta").name == "alpha_beta"
+        assert reg.get("alpha-beta").name == "alpha_beta"
+        assert reg.get("ALPHA_BETA").name == "alpha_beta"
+
+    def test_build_forwards_kwargs(self):
+        reg = self._reg()
+        assert reg.build("gamma", x=5) == 10
+
+    def test_unknown_name_lists_available(self):
+        reg = self._reg()
+        with pytest.raises(KeyError, match="alpha_beta"):
+            reg.get("nope")
+
+    def test_duplicate_name_rejected(self):
+        reg = self._reg()
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.register("gamma", lambda: None)
+
+    def test_colliding_alias_rejected(self):
+        reg = self._reg()
+        with pytest.raises(ValueError, match="collides"):
+            reg.register("other", lambda: None, aliases=("ab",))
+
+    def test_contains_and_iteration(self):
+        reg = self._reg()
+        assert "ab" in reg
+        assert "missing" not in reg
+        assert list(reg) == ["alpha_beta", "gamma"]
+        assert len(reg) == 2
+
+
+class TestSystemsRegistry:
+    def test_all_four_systems(self):
+        assert SYSTEMS.names() == [
+            "bittorrent",
+            "bullet",
+            "bullet_prime",
+            "splitstream",
+        ]
+
+    def test_bulletprime_alias(self):
+        assert SYSTEMS.get("bulletprime").name == "bullet_prime"
+        assert SYSTEMS.get("bp").name == "bullet_prime"
+
+    def test_legacy_view_matches_registry(self):
+        assert sorted(SYSTEM_FACTORIES) == SYSTEMS.names()
+        for name, (builder, config) in SYSTEM_FACTORIES.items():
+            entry = SYSTEMS.get(name)
+            assert entry.builder is builder
+            assert entry.extras["config"] is config
+
+
+class TestScenariosRegistry:
+    def test_catalogue_registered(self):
+        assert SCENARIOS.names() == [
+            "cascading_cuts",
+            "churn",
+            "correlated_decreases",
+            "flash_crowd",
+            "none",
+            "oscillate",
+            "trace_replay",
+        ]
+
+    def test_every_entry_builds_a_scenario_with_defaults(self):
+        for name in SCENARIOS.names():
+            scenario = SCENARIOS.build(name)
+            assert isinstance(scenario, Scenario), name
+
+    def test_aliases(self):
+        assert SCENARIOS.get("static").name == "none"
+        assert SCENARIOS.get("cellular").name == "oscillate"
+        assert SCENARIOS.get("trace").name == "trace_replay"
+
+
+class TestWorkloadsRegistry:
+    def test_workloads_registered(self):
+        assert WORKLOADS.names() == ["flash_crowd_file", "software_update"]
+
+    def test_build_flash_crowd_file(self):
+        fo = WORKLOADS.build("file", size=10_000, block_size=512, seed=1)
+        assert fo.num_blocks == 20
+
+    def test_build_software_update(self):
+        old, new = WORKLOADS.build("update", image_size=20_000, seed=2)
+        assert len(old) == len(new) == 20_000

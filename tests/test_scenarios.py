@@ -1,0 +1,402 @@
+"""Tests for the scenario package: catalogue, combinators, trace replay."""
+
+import pytest
+
+from repro.common.units import MBPS
+from repro.scenarios import (
+    CascadingCuts,
+    Churn,
+    Compose,
+    CorrelatedDecreases,
+    FlashCrowd,
+    Oscillate,
+    Scenario,
+    ScenarioContext,
+    ScenarioHandle,
+    Static,
+    TraceRecorder,
+    TraceReplay,
+    compose,
+    delay,
+    read_trace,
+    repeat,
+)
+from repro.sim.engine import Simulator
+from repro.sim.topology import mesh_topology, star_topology
+
+
+def _ctx(num_nodes=6, seed=1, source_id=0, **kwargs):
+    sim = Simulator()
+    topo = mesh_topology(num_nodes, seed=seed)
+    return ScenarioContext(sim, topo, source_id=source_id, seed=seed, **kwargs)
+
+
+def _capacities(topo):
+    return {pair: link.capacity for pair, link in topo.core.items()}
+
+
+class TestContext:
+    def test_receivers_exclude_source(self):
+        ctx = _ctx(5, source_id=2)
+        assert ctx.receivers == [0, 1, 3, 4]
+
+    def test_core_links_ordered(self):
+        ctx = _ctx(4)
+        pairs = [pair for pair, _ in ctx.core_links()]
+        assert pairs == sorted(pairs)
+
+    def test_rng_streams_are_independent_and_stable(self):
+        ctx = _ctx(4, seed=7)
+        assert ctx.rng("a").random() == ctx.rng("a").random()
+        assert ctx.rng("a").random() != ctx.rng("b").random()
+        # An explicit scenario seed overrides the context seed.
+        assert ctx.rng("a", seed=9).random() != ctx.rng("a").random()
+
+
+class TestStatic:
+    def test_changes_nothing(self):
+        ctx = _ctx()
+        before = _capacities(ctx.topology)
+        Static().install(ctx)
+        ctx.sim.run(until=100.0)
+        assert _capacities(ctx.topology) == before
+
+
+class TestLegacyCallable:
+    def test_scenario_instances_are_legacy_installers(self):
+        # The old harness contract: scenario(sim, topology) -> handle.
+        sim = Simulator()
+        topo = mesh_topology(6, seed=2)
+        handle = CorrelatedDecreases(seed=2, period=10.0)(sim, topo)
+        before = _capacities(topo)
+        sim.run(until=50.0)
+        assert _capacities(topo) != before
+        handle.cancel()
+        frozen = _capacities(topo)
+        sim.run(until=200.0)
+        assert _capacities(topo) == frozen
+
+
+class TestCascadingCutsDefaults:
+    def test_defaults_resolve_from_context(self):
+        ctx = _ctx(5, source_id=0)
+        CascadingCuts(period=10.0).install(ctx)
+        ctx.sim.run(until=100.0)
+        # Target defaults to the highest receiver; senders to everyone
+        # else minus the source: links 1->4, 2->4, 3->4 throttled.
+        throttled = {
+            pair
+            for pair, link in ctx.topology.core.items()
+            if link.capacity < 2 * MBPS
+        }
+        assert throttled == {(1, 4), (2, 4), (3, 4)}
+
+
+class TestOscillate:
+    def test_capacities_stay_in_band(self):
+        ctx = _ctx(5)
+        base = _capacities(ctx.topology)
+        Oscillate(period=4.0, low=0.25, high=1.0, seed=3).install(ctx)
+        seen_low = False
+        for t in range(1, 41):
+            ctx.sim.run(until=t * 0.5)
+            for pair, link in ctx.topology.core.items():
+                ratio = link.capacity / base[pair]
+                assert 0.25 - 1e-9 <= ratio <= 1.0 + 1e-9
+                seen_low = seen_low or ratio < 0.5
+        assert seen_low, "the swing must actually reach the low phase"
+
+    def test_square_wave_hits_both_rails(self):
+        ctx = _ctx(4)
+        base = _capacities(ctx.topology)
+        pair = next(iter(base))
+        Oscillate(
+            period=4.0, low=0.5, high=1.0, wave="square",
+            phase_jitter=False, sample_period=1.0,
+        ).install(ctx)
+        ratios = set()
+        for t in range(1, 9):
+            ctx.sim.run(until=t * 1.0 + 0.1)
+            ratios.add(round(ctx.topology.core[pair].capacity / base[pair], 6))
+        assert ratios == {0.5, 1.0}
+
+    def test_cancel_freezes_capacities(self):
+        ctx = _ctx(4)
+        handle = Oscillate(period=2.0, seed=1).install(ctx)
+        ctx.sim.run(until=3.0)
+        handle.cancel()
+        frozen = _capacities(ctx.topology)
+        ctx.sim.run(until=30.0)
+        assert _capacities(ctx.topology) == frozen
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Oscillate(low=0.0)
+        with pytest.raises(ValueError):
+            Oscillate(low=0.9, high=0.5)
+        with pytest.raises(ValueError):
+            Oscillate(wave="triangle")
+
+
+class TestFlashCrowd:
+    def test_start_delays_cover_receivers_only(self):
+        ctx = _ctx(6, source_id=0)
+        FlashCrowd(ramp=30.0).install(ctx)
+        assert set(ctx.start_delays) == set(ctx.receivers)
+        assert all(0.0 <= d <= 30.0 for d in ctx.start_delays.values())
+
+    def test_start_offset_shifts_all_delays(self):
+        ctx = _ctx(6, source_id=0)
+        FlashCrowd(ramp=10.0, start=5.0).install(ctx)
+        assert all(d >= 5.0 for d in ctx.start_delays.values())
+
+    def test_deterministic_per_seed(self):
+        a, b = _ctx(8, seed=4), _ctx(8, seed=4)
+        FlashCrowd(ramp=30.0).install(a)
+        FlashCrowd(ramp=30.0).install(b)
+        assert a.start_delays == b.start_delays
+
+
+class TestChurn:
+    def test_offline_then_restored(self):
+        ctx = _ctx(6, source_id=0, seed=2)
+        before = _capacities(ctx.topology)
+        Churn(period=10.0, down_time=5.0, fraction=0.2, seed=2).install(ctx)
+        ctx.sim.run(until=11.0)  # one firing, node still down
+        dark = {
+            pair
+            for pair, link in ctx.topology.core.items()
+            if link.capacity == 16.0
+        }
+        assert dark, "a node must have gone offline"
+        # Every dark link touches the same single victim node.
+        common = set.intersection(*[set(pair) for pair in dark])
+        assert len(common) == 1
+        victim = common.pop()
+        assert victim != 0, "the source must never be churned"
+        # All links touching the victim are dark, in both directions.
+        assert dark == {
+            pair for pair in before if victim in pair
+        }
+        ctx.sim.run(until=16.5)  # down_time elapsed, before next firing
+        restored = _capacities(ctx.topology)
+        for pair in dark:
+            assert restored[pair] == before[pair]
+
+    def test_cancel_restores_everyone(self):
+        ctx = _ctx(6, source_id=0, seed=3)
+        before = _capacities(ctx.topology)
+        handle = Churn(period=5.0, down_time=60.0, seed=3).install(ctx)
+        ctx.sim.run(until=12.0)
+        assert _capacities(ctx.topology) != before
+        handle.cancel()
+        assert _capacities(ctx.topology) == before
+
+
+class TestCombinators:
+    def test_compose_installs_all_and_cancels_all(self):
+        ctx = _ctx(6, seed=5)
+        before = _capacities(ctx.topology)
+        handle = compose(
+            Oscillate(period=2.0, seed=5),
+            CorrelatedDecreases(seed=5, period=5.0),
+        ).install(ctx)
+        ctx.sim.run(until=20.0)
+        assert _capacities(ctx.topology) != before
+        handle.cancel()
+        frozen = _capacities(ctx.topology)
+        ctx.sim.run(until=100.0)
+        assert _capacities(ctx.topology) == frozen
+
+    def test_compose_requires_a_scenario(self):
+        with pytest.raises(ValueError):
+            Compose()
+
+    def test_delay_postpones_install(self):
+        ctx = _ctx(6, seed=6)
+        before = _capacities(ctx.topology)
+        delay(CorrelatedDecreases(seed=6, period=5.0, start=0.0), 50.0).install(ctx)
+        ctx.sim.run(until=49.0)
+        assert _capacities(ctx.topology) == before
+        ctx.sim.run(until=60.0)
+        assert _capacities(ctx.topology) != before
+
+    def test_delayed_cancel_before_arm(self):
+        ctx = _ctx(6, seed=6)
+        before = _capacities(ctx.topology)
+        handle = delay(CorrelatedDecreases(seed=6, period=5.0), 50.0).install(ctx)
+        handle.cancel()
+        ctx.sim.run(until=200.0)
+        assert _capacities(ctx.topology) == before
+
+    def test_repeat_reinstalls(self):
+        # A one-shot cascading cut repeated twice throttles, and the
+        # second installation re-throttles after topology recovery.
+        sim = Simulator()
+        topo = star_topology(4)
+        ctx = ScenarioContext(sim, topo, source_id=0, seed=1)
+        fired = []
+
+        class Marker(Scenario):
+            def install(self, inner_ctx):
+                fired.append(inner_ctx.sim.now)
+                return ScenarioHandle()
+
+        repeat(Marker(), every=10.0, times=3).install(ctx)
+        sim.run(until=100.0)
+        assert fired == [0.0, 10.0, 20.0]
+
+    def test_oscillate_composed_with_churn_keeps_nodes_dark(self):
+        # Oscillate applies its swing relatively, so a churned node's
+        # trickle links must stay near-dead underneath the oscillation
+        # rather than being reset to base capacity on the next tick.
+        ctx = _ctx(6, source_id=0, seed=2)
+        compose(
+            Oscillate(period=2.0, low=0.25, seed=2),
+            Churn(period=10.0, down_time=30.0, fraction=0.2, seed=2),
+        ).install(ctx)
+        ctx.sim.run(until=15.0)  # churn fired at 10, several ticks since
+        darkest = min(link.capacity for link in ctx.topology.core.values())
+        assert darkest < 100.0, (
+            f"churned links must stay dark under oscillation, got {darkest}"
+        )
+
+    def test_oscillate_churn_composition_does_not_compound(self):
+        # Churn's restore is multiplicative, so many churn cycles under
+        # an oscillation must leave capacities inside the oscillation
+        # band — an absolute save/restore compounds the factors and
+        # blows capacity up exponentially.
+        ctx = _ctx(6, source_id=0, seed=2)
+        base = _capacities(ctx.topology)
+        compose(
+            Oscillate(period=2.0, low=0.25, high=1.0, seed=1),
+            Churn(period=10.0, down_time=5.0, fraction=0.2, seed=2),
+        ).install(ctx)
+        ctx.sim.run(until=400.0)
+        for pair, link in ctx.topology.core.items():
+            assert link.capacity <= base[pair] * 1.001, (
+                f"{pair}: capacity {link.capacity} exceeds built "
+                f"{base[pair]} — churn/oscillate composition compounded"
+            )
+
+    def test_delayed_scenario_keeps_its_stop_window(self):
+        # start/stop are install-relative: a delayed scenario with
+        # stop=45 must run its full 45-second window after the delay,
+        # not be cut short by absolute-time arithmetic.
+        def cut_count(scenario, until):
+            ctx = _ctx(8, seed=7)
+            before = _capacities(ctx.topology)
+            scenario.install(ctx)
+            ctx.sim.run(until=until)
+            return sum(
+                1
+                for pair, link in ctx.topology.core.items()
+                if link.capacity != before[pair]
+            )
+
+        undelayed = cut_count(
+            CorrelatedDecreases(seed=7, period=20.0, stop=45.0), 200.0
+        )
+        delayed = cut_count(
+            delay(
+                CorrelatedDecreases(seed=7, period=20.0, stop=45.0), 100.0
+            ),
+            300.0,
+        )
+        assert undelayed > 0
+        assert delayed == undelayed
+
+    def test_repeat_cancel_stops_reinstalls(self):
+        ctx = _ctx(4)
+        fired = []
+
+        class Marker(Scenario):
+            def install(self, inner_ctx):
+                fired.append(inner_ctx.sim.now)
+                return ScenarioHandle()
+
+        handle = repeat(Marker(), every=10.0).install(ctx)
+        ctx.sim.schedule_at(15.0, handle.cancel)
+        ctx.sim.run(until=100.0)
+        assert fired == [0.0, 10.0]
+
+
+class TestTraceReplay:
+    def test_default_demo_schedule_dips_and_recovers(self):
+        ctx = _ctx(4)
+        before = _capacities(ctx.topology)
+        TraceReplay().install(ctx)
+        ctx.sim.run(until=20.0)
+        halved = _capacities(ctx.topology)
+        assert all(
+            halved[pair] == pytest.approx(before[pair] * 0.5)
+            for pair in before
+        )
+        ctx.sim.run(until=50.0)
+        assert _capacities(ctx.topology) == pytest.approx(before)
+
+    def test_concrete_link_events(self):
+        ctx = _ctx(4)
+        events = [{"t": 5.0, "link": "1->2", "capacity": 1000.0}]
+        TraceReplay(events=events).install(ctx)
+        ctx.sim.run(until=10.0)
+        assert ctx.topology.core[(1, 2)].capacity == 1000.0
+
+    def test_unknown_links_ignored(self):
+        ctx = _ctx(3)
+        events = [{"t": 1.0, "link": "77->78", "capacity": 5.0}]
+        TraceReplay(events=events).install(ctx)
+        ctx.sim.run(until=5.0)  # must not raise
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            TraceReplay(events=[{"t": 1.0, "link": "*"}])
+        with pytest.raises(ValueError):
+            TraceReplay(
+                events=[
+                    {"t": 1.0, "link": "*", "capacity": 1.0, "scale": 0.5}
+                ]
+            )
+        with pytest.raises(ValueError):
+            TraceReplay(events=[], path="x")
+
+
+class TestTraceRoundTrip:
+    """Record a run's link-capacity trace, replay it, and assert the
+    replayed capacities match the recorded schedule exactly."""
+
+    def _record(self, scenario, recorder, seed=3, until=20.0):
+        sim = Simulator()
+        topo = mesh_topology(5, seed=seed)
+        ctx = ScenarioContext(sim, topo, source_id=0, seed=seed)
+        compose(scenario, recorder).install(ctx)
+        sim.run(until=until)
+        return topo
+
+    def test_replay_reproduces_recorded_schedule(self, tmp_path):
+        recorder = TraceRecorder(sample_period=1.0, start=0.25)
+        self._record(
+            Oscillate(period=4.0, sample_period=1.0, seed=3), recorder
+        )
+        assert any("capacity" in e and e["t"] > 0 for e in recorder.events)
+        path = recorder.save(tmp_path / "run.trace.json")
+
+        # Replay the file onto a fresh identical topology, recording
+        # again with the same sampling offsets.
+        second = TraceRecorder(sample_period=1.0, start=0.25)
+        self._record(TraceReplay(path=path), second)
+        assert second.events == recorder.events
+
+    def test_save_load_round_trip(self, tmp_path):
+        recorder = TraceRecorder(sample_period=0.5, start=0.1)
+        self._record(
+            CorrelatedDecreases(seed=4, period=5.0), recorder, until=16.0
+        )
+        path = recorder.save(tmp_path / "t.json")
+        assert read_trace(path) == recorder.events
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"version": 99, "events": []}')
+        with pytest.raises(ValueError, match="version"):
+            read_trace(path)
