@@ -140,6 +140,14 @@ def _parse_run_args(argv):
     parser.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "report runtime statistics: events processed, reallocation "
+            "passes, component sizes, and wall-clock time"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -178,23 +186,27 @@ def _run_command(argv):
     )
     elapsed = time.time() - started
     summary = result.summary()
-    if args.json:
-        print(
-            json.dumps(
-                {
-                    "system": system.name,
-                    "scenario": scenario_entry.name,
-                    "topology": args.topology,
-                    "nodes": args.nodes,
-                    "blocks": args.blocks,
-                    "seed": args.seed,
-                    "summary": summary,
-                    "wall_seconds": round(elapsed, 3),
-                },
-                indent=1,
-                sort_keys=True,
-            )
+    profile = None
+    if args.profile:
+        profile = dict(result.perf_stats())
+        profile["events_per_second"] = (
+            round(profile["events_processed"] / elapsed, 1) if elapsed > 0 else 0.0
         )
+        profile["wall_seconds"] = round(elapsed, 3)
+    if args.json:
+        doc = {
+            "system": system.name,
+            "scenario": scenario_entry.name,
+            "topology": args.topology,
+            "nodes": args.nodes,
+            "blocks": args.blocks,
+            "seed": args.seed,
+            "summary": summary,
+            "wall_seconds": round(elapsed, 3),
+        }
+        if profile is not None:
+            doc["profile"] = profile
+        print(json.dumps(doc, indent=1, sort_keys=True))
     else:
         print(
             f"{system.name} under {scenario_entry.name} on "
@@ -206,6 +218,19 @@ def _run_command(argv):
         print(f"  {'finished':14s} {summary['finished']}")
         print(f"  {'duplicates':14s} {summary['duplicates']}")
         print(f"  {'control bytes':14s} {summary['control_bytes']}")
+        if profile is not None:
+            print("profile:")
+            for key in (
+                "events_processed",
+                "events_per_second",
+                "reallocations",
+                "components_allocated",
+                "flows_allocated",
+                "max_component_size",
+                "mean_component_size",
+                "wall_seconds",
+            ):
+                print(f"  {key:22s} {profile[key]}")
         print(f"[completed in {elapsed:.1f}s]")
     return 0
 

@@ -18,13 +18,21 @@ class BlockBitmap:
     hundreds of thousands of arrivals.
     """
 
-    __slots__ = ("num_blocks", "_bits")
+    __slots__ = ("num_blocks", "_bits", "_count")
 
     def __init__(self, num_blocks, blocks=()):
         if num_blocks < 0:
             raise ValueError(f"num_blocks must be >= 0, got {num_blocks}")
         self.num_blocks = num_blocks
+        #: Plain int used as the bit vector.  NOTE: DownloadState's hot
+        #: membership predicates (``__contains__``/``wants``) inline
+        #: ``(self._bits >> block) & 1`` to skip a call layer — keep
+        #: this representation (or update those two sites) if it ever
+        #: changes.
         self._bits = 0
+        #: Cached population count; protocols poll ``len()`` on every
+        #: block decision, so it must not be a popcount per call.
+        self._count = 0
         for block in blocks:
             self.add(block)
 
@@ -37,18 +45,24 @@ class BlockBitmap:
     def add(self, block):
         """Mark ``block`` as present."""
         self._check(block)
-        self._bits |= 1 << block
+        mask = 1 << block
+        if not self._bits & mask:
+            self._bits |= mask
+            self._count += 1
 
     def discard(self, block):
         """Mark ``block`` as absent (no error if already absent)."""
         self._check(block)
-        self._bits &= ~(1 << block)
+        mask = 1 << block
+        if self._bits & mask:
+            self._bits &= ~mask
+            self._count -= 1
 
     def __contains__(self, block):
         return 0 <= block < self.num_blocks and (self._bits >> block) & 1
 
     def __len__(self):
-        return self._bits.bit_count()
+        return self._count
 
     def __iter__(self):
         bits = self._bits
@@ -73,6 +87,7 @@ class BlockBitmap:
     def copy(self):
         clone = BlockBitmap(self.num_blocks)
         clone._bits = self._bits
+        clone._count = self._count
         return clone
 
     def union(self, other):
@@ -80,6 +95,7 @@ class BlockBitmap:
         self._check_compatible(other)
         result = BlockBitmap(self.num_blocks)
         result._bits = self._bits | other._bits
+        result._count = result._bits.bit_count()
         return result
 
     def difference(self, other):
@@ -87,6 +103,7 @@ class BlockBitmap:
         self._check_compatible(other)
         result = BlockBitmap(self.num_blocks)
         result._bits = self._bits & ~other._bits
+        result._count = result._bits.bit_count()
         return result
 
     def intersection(self, other):
@@ -94,17 +111,20 @@ class BlockBitmap:
         self._check_compatible(other)
         result = BlockBitmap(self.num_blocks)
         result._bits = self._bits & other._bits
+        result._count = result._bits.bit_count()
         return result
 
     def update(self, other):
         """Add every block of ``other`` in place."""
         self._check_compatible(other)
         self._bits |= other._bits
+        self._count = self._bits.bit_count()
 
     def missing(self):
         """Return a new bitmap of the blocks *not* present."""
         result = BlockBitmap(self.num_blocks)
         result._bits = ~self._bits & ((1 << self.num_blocks) - 1)
+        result._count = result._bits.bit_count()
         return result
 
     def _check_compatible(self, other):

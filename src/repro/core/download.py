@@ -43,6 +43,10 @@ class DownloadState:
             self._held = None
             self._bitmap = BlockBitmap(num_blocks)
             self.required = num_blocks
+        #: Completion latch: blocks are never removed, so once the count
+        #: reaches ``required`` it stays there — protocols poll
+        #: ``complete`` on every block decision, so it must be one load.
+        self._complete = self.required == 0
 
     def add(self, block):
         """Record a received block; returns False for duplicates."""
@@ -50,23 +54,30 @@ class DownloadState:
             if block in self._held:
                 return False
             self._held.add(block)
-            return True
-        if block in self._bitmap:
-            return False
-        self._bitmap.add(block)
+        else:
+            if block in self._bitmap:
+                return False
+            self._bitmap.add(block)
+        if not self._complete and len(self) >= self.required:
+            self._complete = True
         return True
 
     def __contains__(self, block):
         if self.encoded:
             return block in self._held
-        return block in self._bitmap
+        # Inlined BlockBitmap.__contains__ (relies on its int-bit-vector
+        # layout; see the note on BlockBitmap._bits) — this is the
+        # innermost test of every request decision.  Ids past the
+        # universe shift to 0 (absent), matching the bitmap's own range
+        # check.
+        return block >= 0 and (self._bitmap._bits >> block) & 1 == 1
 
     def __len__(self):
         return len(self._held) if self.encoded else len(self._bitmap)
 
     @property
     def complete(self):
-        return len(self) >= self.required
+        return self._complete
 
     def blocks(self):
         if self.encoded:
@@ -81,10 +92,18 @@ class DownloadState:
         return list(self._bitmap.missing())
 
     def wants(self, block):
-        """Would receiving ``block`` make progress?"""
-        if self.complete:
+        """Would receiving ``block`` make progress?
+
+        This predicate runs for every candidate block of every request
+        decision, so the membership test is inlined rather than routed
+        through ``__contains__`` (it relies on BlockBitmap's
+        int-bit-vector layout; see the note on ``BlockBitmap._bits``).
+        """
+        if self._complete:
             return False
-        return block not in self
+        if self.encoded:
+            return block not in self._held
+        return not (block >= 0 and (self._bitmap._bits >> block) & 1)
 
 
 class FileObject:

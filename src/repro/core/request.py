@@ -148,17 +148,25 @@ class AvailabilityView:
             scan_set = set(scan)
             # Keep unscanned entries; they stay candidates for next time.
             valid = [b for b in order if b not in scan_set and useful(b)]
+        rarity_of = self.rarity.get
+        ties = []
         for block in scan:
             if not useful(block):
                 continue
             valid.append(block)
-            rarity = self.rarity.get(block, 0)
+            rarity = rarity_of(block, 0)
             if best_rarity is None or rarity < best_rarity:
                 best_rarity = rarity
+                ties = [block]
+            elif rarity == best_rarity:
+                ties.append(block)
         if best_rarity is None:
             order.clear()
             return None
-        ties = [b for b in valid if self.rarity.get(b, 0) == best_rarity]
+        if scan is not order:
+            # Sampled mode: unscanned survivors kept in ``valid`` also
+            # compete on rarity, in list order (ahead of scanned ones).
+            ties = [b for b in valid if rarity_of(b, 0) == best_rarity]
         if randomize:
             chosen = ties[self.rng.randrange(len(ties))]
         else:

@@ -30,12 +30,15 @@ def _resolve_scenario(scenario):
 class ExperimentResult:
     """Everything a figure needs from one run."""
 
-    def __init__(self, trace, nodes, sim, finished):
+    def __init__(self, trace, nodes, sim, finished, flows=None):
         self.trace = trace
         self.nodes = nodes
         self.sim = sim
         #: True when every receiver completed before the time limit.
         self.finished = finished
+        #: The :class:`~repro.sim.tcp.FlowNetwork` the run used (for
+        #: allocator perf counters; may be None for hand-built results).
+        self.flows = flows
 
     def completion_cdf(self):
         return self.trace.completion_cdf()
@@ -50,6 +53,16 @@ class ExperimentResult:
             if node != source
         )
 
+    def perf_stats(self):
+        """Deterministic work counters for this run (simulator events
+        processed plus the allocator's pass/component statistics) —
+        wall-clock time deliberately excluded so summaries stay
+        bit-identical across machines and runs."""
+        stats = {"events_processed": self.sim.events_processed}
+        if self.flows is not None:
+            stats.update(self.flows.perf_stats())
+        return stats
+
     def summary(self):
         cdf = self.completion_cdf()
         return {
@@ -60,6 +73,7 @@ class ExperimentResult:
             "finished": self.finished,
             "duplicates": self.trace.total_duplicates(),
             "control_bytes": self.trace.total_control_bytes(),
+            "perf": self.perf_stats(),
         }
 
 
@@ -74,6 +88,7 @@ def run_experiment(
     seed=0,
     check_period=1.0,
     failure_schedule=(),
+    flow_allocator="incremental",
 ):
     """Run one dissemination to completion.
 
@@ -101,9 +116,19 @@ def run_experiment(
         stopped (its connections close, its timers die) — the paper's
         section-1 churn/reliability scenario.  Failed nodes are excluded
         from the completion condition unless they finished earlier.
+    flow_allocator:
+        ``"incremental"`` (default) re-runs progressive filling only
+        over dirty connected components; ``"full"`` recomputes every
+        component each pass.  The two are bit-identical by construction
+        (same per-component arithmetic) — the knob exists for the
+        equivalence tests and for perf comparisons.
     """
+    if flow_allocator not in ("incremental", "full"):
+        raise ValueError(
+            f"flow_allocator must be 'incremental' or 'full', got {flow_allocator!r}"
+        )
     sim = Simulator()
-    flows = FlowNetwork(sim)
+    flows = FlowNetwork(sim, incremental=(flow_allocator == "incremental"))
     network = Network(
         sim, topology, flows, rng=split_rng(seed, "net.message_jitter")
     )
@@ -159,7 +184,7 @@ def run_experiment(
     sim.schedule_periodic(check_period, check_done)
     sim.run(until=max_time)
     finished = all(r in trace.completion_times for r in survivors())
-    result = ExperimentResult(trace, nodes, sim, finished)
+    result = ExperimentResult(trace, nodes, sim, finished, flows=flows)
     result.source_id = source_id
     result.failed_nodes = failed
     return result

@@ -238,14 +238,6 @@ class Oscillate(Scenario):
         self.stop = stop
         self.seed = seed
 
-    def _factor(self, elapsed, phase):
-        cycles = elapsed / self.period + phase
-        if self.wave == "square":
-            return self.high if (cycles % 1.0) < 0.5 else self.low
-        mid = (self.high + self.low) / 2.0
-        amp = (self.high - self.low) / 2.0
-        return mid + amp * math.sin(2.0 * math.pi * cycles)
-
     def install(self, ctx):
         sim = ctx.sim
         rng = ctx.rng("oscillate", self.seed)
@@ -258,11 +250,27 @@ class Oscillate(Scenario):
         origin = sim.now + self.start
         handle = ScenarioHandle()
 
+        # One tick touches every core link, so the waveform — the factor
+        # f(t) at cycles = elapsed/period + phase: high/low square
+        # switching at half-cycle, or mid + amp*sin(2*pi*cycles) — is
+        # computed inline with hoisted constants.
+        period = self.period
+        square = self.wave == "square"
+        high, low = self.high, self.low
+        mid = (high + low) / 2.0
+        amp = (high - low) / 2.0
+        two_pi = 2.0 * math.pi
+        sin = math.sin
+
         def tick():
             elapsed = sim.now - origin
             for entry in links:
                 link, phase, previous = entry
-                factor = self._factor(elapsed, phase)
+                cycles = elapsed / period + phase
+                if square:
+                    factor = high if (cycles % 1.0) < 0.5 else low
+                else:
+                    factor = mid + amp * sin(two_pi * cycles)
                 link.scale_capacity(factor / previous)
                 entry[2] = factor
 

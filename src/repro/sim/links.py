@@ -30,7 +30,18 @@ class Link:
         never actually drops application bytes (TCP is reliable).
     """
 
-    __slots__ = ("name", "_capacity", "delay", "loss_rate", "flows", "on_capacity_change")
+    __slots__ = (
+        "name",
+        "_capacity",
+        "delay",
+        "loss_rate",
+        "flows",
+        "on_capacity_change",
+        "_alloc_epoch",
+        "_alloc_remaining",
+        "_alloc_unfrozen",
+        "_alloc_share",
+    )
 
     def __init__(self, name, capacity, delay=0.0, loss_rate=0.0):
         if capacity <= 0:
@@ -52,6 +63,13 @@ class Link:
         #: capacity is mutated; the flow network hooks this to trigger a
         #: rate reallocation.
         self.on_capacity_change = None
+        #: Allocator scratch (see :class:`repro.sim.tcp.FlowNetwork`):
+        #: the epoch stamp marks which allocation pass the remaining/
+        #: unfrozen values belong to, so passes need no per-link dicts.
+        self._alloc_epoch = -1
+        self._alloc_remaining = 0.0
+        self._alloc_unfrozen = 0
+        self._alloc_share = -1.0
 
     @property
     def capacity(self):

@@ -13,9 +13,55 @@ connection establishment.  Allocation is recomputed when the set of
 active flows changes or a link capacity changes; recomputations within
 ``reallocation_interval`` are coalesced to keep large experiments linear
 in the number of block transfers.
+
+Incremental, component-scoped allocation
+----------------------------------------
+
+Max-min fair shares factor over the *connected components* of the graph
+whose vertices are active flows and whose edges are shared links: a
+flow's rate depends only on the flows it (transitively) shares a link
+with.  The allocator exploits this.  Every activation, deactivation, and
+capacity change records the touched flows/links in a dirty set; a
+reallocation pass then
+
+1. expands the dirty seeds into full components by breadth-first search
+   over the ``link.flows`` adjacency (flows whose slow-start cap is
+   still *binding* are seeds too — their cap grows with time; a ramp
+   already above the flow's share cannot change the allocation and only
+   has its ``ramp_done`` latch swept),
+2. re-runs progressive filling over those components only, and
+3. leaves every untouched component's rates exactly as they are —
+   zero work, no callbacks.
+
+Complexity per pass is ``O(F_d + L_d + I_d * L_d)`` where ``F_d``/``L_d``
+are the flows/links in dirty components and ``I_d`` the filling
+iterations there, instead of the same expression over the whole network.
+With ``incremental=False`` every component is recomputed on every pass;
+because both modes run the identical per-component arithmetic in the
+identical order, they produce bit-identical rates and event sequences —
+the equivalence is asserted by a randomized property test and by the
+scenario-matrix golden tests.
+
+One scoping note: per-component processing settles each component in
+creation order, whereas the legacy *global* fill interleaved freezes
+across components by bottleneck-share rounds.  Rates are identical
+either way (max-min allocation factors over components), but when two
+events in *different* components land on exactly the same timestamp,
+their tie-break order can differ from the legacy trajectory — an
+equally valid schedule.  The recorded golden matrix pins the realized
+behavior; the incremental ≡ full guarantee is unaffected (both modes
+settle per component).
+
+Per-flow invariants (Mathis cap, RTT, loss, RTO) are computed once at
+flow creation, and a ``ramp_done`` latch stops flows past slow-start
+from paying the exponential window recompute or scheduling further ramp
+revisits.  Per-link allocation scratch (``remaining`` capacity and
+unfrozen-flow counts) lives in slots on the :class:`~repro.sim.links.Link`
+itself, updated in place, so a pass allocates no per-link dictionaries.
 """
 
 import math
+from operator import attrgetter
 
 __all__ = ["TcpModel", "Flow", "FlowNetwork"]
 
@@ -58,6 +104,20 @@ class TcpModel:
         """RTO estimate used to penalize control messages on lossy paths."""
         return max(self.min_rto, 2.0 * self.path_rtt(links))
 
+    def slow_start_cap_at(self, rtt, age):
+        """Slow-start rate bound from a precomputed path RTT.
+
+        The window starts at ``ramp_initial_segments`` segments and
+        doubles every RTT, so the achievable rate at connection age
+        ``age`` is ``initial * 2^(age/RTT) * MSS / RTT``.
+        """
+        rtt = max(rtt, 1e-4)
+        doublings = age / rtt
+        if doublings > 40:  # beyond any practical window growth
+            return math.inf
+        window_segments = self.ramp_initial_segments * (2.0 ** doublings)
+        return window_segments * self.mss / rtt
+
     def slow_start_cap(self, links, age):
         """Rate bound while the congestion window ramps up.
 
@@ -66,12 +126,7 @@ class TcpModel:
         achievable rate at connection age ``age`` is
         ``initial * 2^(age/RTT) * MSS / RTT``.
         """
-        rtt = max(self.path_rtt(links), 1e-4)
-        doublings = age / rtt
-        if doublings > 40:  # beyond any practical window growth
-            return math.inf
-        window_segments = self.ramp_initial_segments * (2.0 ** doublings)
-        return window_segments * self.mss / rtt
+        return self.slow_start_cap_at(self.path_rtt(links), age)
 
 
 class Flow:
@@ -95,9 +150,14 @@ class Flow:
         "rto",
         "started_at",
         "rate",
+        "ramp_done",
+        "ramp_binding",
         "on_rate_change",
         "_active",
         "_network",
+        "_cap",
+        "_frozen",
+        "_visit_epoch",
     )
 
     def __init__(self, name, links, model, started_at):
@@ -110,12 +170,27 @@ class Flow:
         self.rto = model.retransmission_timeout(links)
         self.started_at = started_at
         self.rate = 0.0
+        #: Latched True once the slow-start window has grown past the
+        #: Mathis cap; the cap is then time-invariant and the allocator
+        #: stops recomputing the exponential ramp for this flow.
+        self.ramp_done = False
+        #: While ramping: did the slow-start cap determine the rate at
+        #: the last fill?  A non-binding ramp (rate strictly below the
+        #: cap) cannot change its component's allocation as the cap
+        #: grows, so such flows do not force component refills.
+        self.ramp_binding = True
         #: Callback ``on_rate_change(flow, old_rate)`` fired when the
         #: allocation changes the flow's rate; the transport credits
         #: progress at ``old_rate`` and reschedules transmissions.
         self.on_rate_change = None
         self._active = False
         self._network = None
+        #: Allocation scratch: instantaneous cap / frozen marker for the
+        #: pass currently in progress (valid only inside reallocate()),
+        #: plus the BFS visit stamp used by component discovery.
+        self._cap = 0.0
+        self._frozen = False
+        self._visit_epoch = -1
 
     @property
     def active(self):
@@ -123,6 +198,11 @@ class Flow:
 
     def __repr__(self):
         return f"Flow({self.name!r}, rate={self.rate:.0f}B/s, active={self._active})"
+
+
+#: C-level sort keys — these orderings run on every allocation pass.
+_flow_seq = attrgetter("seq")
+_flow_cap = attrgetter("_cap")
 
 
 class FlowNetwork:
@@ -134,20 +214,45 @@ class FlowNetwork:
     runs at most once per ``reallocation_interval`` of simulated time
     (changes within one interval are coalesced, trading a bounded amount
     of short-term accuracy for linear running time).
+
+    With ``incremental=True`` (the default) a reallocation pass only
+    recomputes the connected components of the active-flow/shared-link
+    graph that contain a dirty flow, a dirty link, or a flow still in
+    its slow-start ramp; untouched components keep their rates with zero
+    work.  ``incremental=False`` recomputes every component each pass
+    using the same per-component arithmetic — by construction the two
+    modes produce bit-identical rates (see the module docstring).
     """
 
-    def __init__(self, sim, model=None, reallocation_interval=0.01):
+    def __init__(self, sim, model=None, reallocation_interval=0.01,
+                 incremental=True):
         self.sim = sim
         self.model = model if model is not None else TcpModel()
         self.reallocation_interval = reallocation_interval
+        self.incremental = incremental
         self._active_flows = set()
         self._flow_seq = 0
         self._dirty = False
         self._realloc_scheduled = False
-        self._ramping = False
         self._last_realloc = -math.inf
-        #: Number of allocations performed (exposed for tests/benchmarks).
+        #: Flows activated since the last pass (seeds for the BFS).
+        self._dirty_flows = set()
+        #: Links whose capacity changed or whose flow set shrank.
+        self._dirty_links = set()
+        #: Active flows still inside slow-start: their cap grows with
+        #: time, so their components must be revisited every pass.
+        self._ramping_flows = set()
+        #: Monotone pass id for link-list dedup without dictionaries.
+        self._alloc_epoch = 0
+        #: Epoch used by the latest component discovery (flows stamped
+        #: with it were refilled this pass).
+        self._last_bfs_epoch = -1
+        #: Number of allocation passes performed.
         self.reallocations = 0
+        #: Components / flows actually re-filled (allocator work done).
+        self.components_allocated = 0
+        self.flows_allocated = 0
+        self.max_component_size = 0
 
     def new_flow(self, name, links):
         flow = Flow(name, links, self.model, started_at=self.sim.now)
@@ -167,6 +272,10 @@ class FlowNetwork:
         self._active_flows.add(flow)
         for link in flow.links:
             link.flows.add(flow)
+        self._dirty_flows.add(flow)
+        if not flow.ramp_done:
+            flow.ramp_binding = True
+            self._ramping_flows.add(flow)
         self._mark_dirty()
 
     def deactivate(self, flow):
@@ -178,9 +287,14 @@ class FlowNetwork:
         for link in flow.links:
             link.flows.discard(flow)
         flow.rate = 0.0
+        self._dirty_flows.discard(flow)
+        self._ramping_flows.discard(flow)
+        # The freed share goes to whoever else crosses these links.
+        self._dirty_links.update(flow.links)
         self._mark_dirty()
 
-    def _capacity_changed(self, _link):
+    def _capacity_changed(self, link):
+        self._dirty_links.add(link)
         self._mark_dirty()
 
     def _mark_dirty(self):
@@ -201,106 +315,105 @@ class FlowNetwork:
         self.reallocate()
 
     def flow_cap(self, flow):
-        """Instantaneous per-flow rate bound (Mathis cap + slow-start)."""
+        """Instantaneous per-flow rate bound (Mathis cap + slow-start).
+
+        The slow-start window only grows, so once it crosses the Mathis
+        cap the result is ``mathis_cap`` forever; ``ramp_done`` latches
+        that and skips the exponential recompute from then on.
+        """
+        if flow.ramp_done:
+            return flow.mathis_cap
         age = self.sim.now - flow.started_at
-        ramp = self.model.slow_start_cap(flow.links, age)
+        ramp = self.model.slow_start_cap_at(flow.rtt, age)
         if ramp < flow.mathis_cap:
-            self._ramping = True
-        return min(flow.mathis_cap, ramp)
+            return ramp
+        flow.ramp_done = True
+        self._ramping_flows.discard(flow)
+        return flow.mathis_cap
+
+    # -- component discovery ---------------------------------------------------
+
+    def _components(self, seeds):
+        """Connected components of the active-flow graph reachable from
+        ``seeds``, as flow lists sorted by creation sequence; the
+        component list itself is ordered by each component's oldest flow
+        so downstream callback order is independent of seed order.
+
+        Visited marking uses an epoch stamp on the flows themselves —
+        no per-pass set, no hashing on the hot path.
+        """
+        self._alloc_epoch += 1
+        epoch = self._alloc_epoch
+        self._last_bfs_epoch = epoch
+        components = []
+        for seed in seeds:
+            if seed._visit_epoch == epoch or not seed._active:
+                continue
+            seed._visit_epoch = epoch
+            stack = [seed]
+            component = []
+            while stack:
+                flow = stack.pop()
+                component.append(flow)
+                for link in flow.links:
+                    # Expand each link once per pass: every flow on it
+                    # lands on the stack the first time, so revisiting
+                    # from a sibling flow would only rescan the set.
+                    if link._alloc_epoch != epoch:
+                        link._alloc_epoch = epoch
+                        for other in link.flows:
+                            if other._visit_epoch != epoch:
+                                other._visit_epoch = epoch
+                                stack.append(other)
+            component.sort(key=_flow_seq)
+            components.append(component)
+        components.sort(key=lambda component: component[0].seq)
+        return components
 
     def reallocate(self):
-        """Progressive-filling max-min allocation.
+        """Run one allocation pass over every dirty component.
 
-        Flows bounded below their fair share by their cap are frozen at
-        the cap; remaining capacity is repeatedly divided among unfrozen
-        flows at the tightest link.
+        Progressive filling: flows bounded below their fair share by
+        their cap are frozen at the cap; remaining capacity is repeatedly
+        divided among unfrozen flows at the tightest link.
         """
         self.reallocations += 1
-        # Deterministic orders throughout: flows by creation sequence,
-        # links by first appearance along that order.  Iterating the
-        # underlying sets directly would follow id() (memory addresses)
-        # and make results depend on process allocation history.
-        flows = sorted(self._active_flows, key=lambda f: f.seq)
-        if not flows:
+        if not self._active_flows:
+            self._dirty_flows.clear()
+            self._dirty_links.clear()
             return
-        self._ramping = False
-        caps = {flow: self.flow_cap(flow) for flow in flows}
-        remaining = {}
-        unfrozen_per_link = {}
-        links = list(
-            dict.fromkeys(link for flow in flows for link in flow.links)
-        )
-        for link in links:
-            remaining[link] = link.capacity
-            unfrozen_per_link[link] = len(link.flows)
-        allocation = {}
-        unfrozen = set(flows)
+        if self.incremental:
+            seeds = [f for f in self._dirty_flows if f._active]
+            for link in self._dirty_links:
+                seeds.extend(link.flows)
+            # Ramping flows force a refill only while their slow-start
+            # cap is *binding*: a cap already above the flow's share
+            # cannot change the component's allocation by growing.
+            seeds.extend(f for f in self._ramping_flows if f.ramp_binding)
+            # Seed order (and duplicates) cannot influence results:
+            # discovery dedups via visit stamps, component membership is
+            # order-free, and both the flows within a component and the
+            # component list itself are sorted before filling.
+        else:
+            seeds = self._active_flows
+        self._dirty_flows.clear()
+        self._dirty_links.clear()
 
-        while unfrozen:
-            # Tightest fair share over links that still carry unfrozen flows.
-            bottleneck_share = math.inf
-            for link in links:
-                count = unfrozen_per_link[link]
-                if count > 0:
-                    share = remaining[link] / count
-                    if share < bottleneck_share:
-                        bottleneck_share = share
-            if bottleneck_share is math.inf:
-                # All remaining flows traverse only frozen links (cannot
-                # happen with positive capacities, but guard anyway).
-                for flow in sorted(unfrozen, key=lambda f: f.seq):
-                    allocation[flow] = caps[flow]
-                break
+        for component in self._components(seeds):
+            self._fill_component(component)
 
-            # Freeze cap-limited flows first: any unfrozen flow whose cap
-            # is at or below the current fair share gets exactly its cap.
-            cap_limited = [
-                f for f in flows
-                if f in unfrozen and caps[f] <= bottleneck_share
-            ]
-            if cap_limited:
-                for flow in cap_limited:
-                    rate = caps[flow]
-                    allocation[flow] = rate
-                    unfrozen.discard(flow)
-                    for link in flow.links:
-                        remaining[link] -= rate
-                        unfrozen_per_link[link] -= 1
-                continue
+        if self._ramping_flows:
+            # Ramping flows whose component was not refilled still track
+            # the window growth: latch ramp_done exactly when a full
+            # recomputation would, so the revisit schedule (and with it
+            # the event timeline) is identical in both allocator modes.
+            bfs_epoch = self._last_bfs_epoch
+            flow_cap = self.flow_cap
+            for flow in list(self._ramping_flows):
+                if flow._visit_epoch != bfs_epoch:
+                    flow_cap(flow)
 
-            # Otherwise freeze every flow on the bottleneck link(s).
-            frozen_any = False
-            for link in links:
-                if unfrozen_per_link[link] == 0:
-                    continue
-                if remaining[link] / unfrozen_per_link[link] <= bottleneck_share * (1 + 1e-12):
-                    for flow in sorted(link.flows, key=lambda f: f.seq):
-                        if flow not in unfrozen:
-                            continue
-                        allocation[flow] = bottleneck_share
-                        unfrozen.discard(flow)
-                        frozen_any = True
-                        for flow_link in flow.links:
-                            remaining[flow_link] -= bottleneck_share
-                            unfrozen_per_link[flow_link] -= 1
-            if not frozen_any:  # numerical corner: freeze everything
-                for flow in sorted(unfrozen, key=lambda f: f.seq):
-                    allocation[flow] = min(bottleneck_share, caps[flow])
-                    unfrozen.discard(flow)
-
-        for flow, rate in allocation.items():
-            rate = max(rate, 0.0)
-            if abs(rate - flow.rate) > 1e-9:
-                old_rate = flow.rate
-                flow.rate = rate
-                if flow.on_rate_change is not None:
-                    # The old rate is passed so byte-progress accrued since
-                    # the last event is credited at the rate that actually
-                    # applied (crediting at the new rate would let an
-                    # oversubscribed link deliver more than its capacity).
-                    flow.on_rate_change(flow, old_rate)
-
-        if self._ramping and not self._realloc_scheduled:
+        if self._ramping_flows and not self._realloc_scheduled:
             # Some flow is still inside its slow-start ramp: its cap grows
             # with time, so revisit the allocation shortly.  The revisit
             # delay has a positive floor so a zero reallocation interval
@@ -309,6 +422,271 @@ class FlowNetwork:
             self._realloc_scheduled = True
             delay = max(self.reallocation_interval, 0.005)
             self.sim.schedule(delay, self._run_reallocation)
+
+    def _fill_component(self, flows):
+        """Progressive filling over one connected component.
+
+        ``flows`` is the component's active flows sorted by creation
+        sequence.  All allocation state lives in slots on the flows and
+        links themselves (no per-pass dictionaries); each flow's
+        rate-change callback fires the moment it freezes — freeze order
+        IS the classic fill's end-of-pass sweep order, and the callbacks
+        (transport reschedules) never touch allocator state, so the
+        event sequence is unchanged.
+
+        The loop structure mirrors the classic global fill exactly —
+        same freeze batches in the same order, so rates are bit-for-bit
+        what the global algorithm computes on this component — but two
+        scans are restructured without touching the arithmetic: the
+        cap-limited batch comes from a cap-sorted prefix instead of an
+        all-flow scan each round (the fair share only rises, so the
+        prefix pointer is monotone; the sort itself is skipped until a
+        cap can actually bind), and links whose flows are all frozen are
+        dropped from the scan list as they exhaust.
+        """
+        flow_count = len(flows)
+        self.components_allocated += 1
+        self.flows_allocated += flow_count
+        if flow_count > self.max_component_size:
+            self.max_component_size = flow_count
+
+        if flow_count == 1:
+            # A lone flow owns all its links: the fill degenerates to
+            # min(capacity) vs the flow's cap.  Same arithmetic, same
+            # callback, none of the scaffolding.
+            flow = flows[0]
+            cap = flow.mathis_cap if flow.ramp_done else self.flow_cap(flow)
+            share = flow.links[0]._capacity
+            for link in flow.links:
+                if link._capacity < share:
+                    share = link._capacity
+            rate = cap if cap <= share else share
+            if not flow.ramp_done:
+                flow.ramp_binding = rate >= cap
+            diff = rate - flow.rate
+            if diff > 1e-9 or diff < -1e-9:
+                old_rate = flow.rate
+                flow.rate = rate
+                if flow.on_rate_change is not None:
+                    flow.on_rate_change(flow, old_rate)
+            return
+
+        # Component link list in first-appearance order along the flow
+        # order; the epoch stamp dedups without building a dict.
+        self._alloc_epoch += 1
+        epoch = self._alloc_epoch
+        inf = math.inf
+        links = []
+        flow_cap = self.flow_cap
+        min_cap = inf
+        for flow in flows:
+            # Fast path: past slow-start the cap is the (precomputed)
+            # Mathis cap — no call, no exponential.
+            cap = flow.mathis_cap if flow.ramp_done else flow_cap(flow)
+            flow._cap = cap
+            if cap < min_cap:
+                min_cap = cap
+            flow._frozen = False
+            for link in flow.links:
+                if link._alloc_epoch != epoch:
+                    link._alloc_epoch = epoch
+                    link._alloc_remaining = link._capacity
+                    link._alloc_unfrozen = len(link.flows)
+                    link._alloc_share = -1.0
+                    links.append(link)
+
+        # Flows in ascending cap order; ``cap_cursor`` sweeps forward as
+        # the bottleneck share rises (shares are non-decreasing across
+        # rounds, so a flow skipped once never needs re-checking until
+        # its cap is reached).  ``flows`` is seq-sorted and the sort is
+        # stable, so equal caps stay in creation order.  Built lazily:
+        # while ``min_cap`` exceeds the fair share no cap can bind and
+        # the ordering is never consulted.
+        by_cap = None
+        cap_cursor = 0
+
+        unfrozen_count = flow_count
+        dead_count = 0
+
+        while unfrozen_count:
+            # Tightest fair share over links that still carry unfrozen
+            # flows.  Shares are cached per link and invalidated (set to
+            # -1) only when a freeze touches the link, so a round divides
+            # only for links that changed since the previous round.
+            # Links whose running share sits within the freeze tolerance
+            # of the minimum are collected along the way — shares never
+            # sink below an already-seen minimum, so the collection is a
+            # superset of the links the freeze step must examine.
+            bottleneck_share = inf
+            threshold = inf
+            candidates = []
+            for link in links:
+                share = link._alloc_share
+                if share < 0.0:
+                    count = link._alloc_unfrozen
+                    if count == 0:
+                        # Every flow on the link froze: mark it; dead
+                        # links are skipped cheaply and compacted out of
+                        # the scan list once they dominate.
+                        link._alloc_share = inf
+                        dead_count += 1
+                        continue
+                    share = link._alloc_remaining / count
+                    link._alloc_share = share
+                elif share == inf:
+                    continue  # dead, compaction pending
+                # A new minimum always satisfies share <= threshold (the
+                # tolerance band of the previous minimum), so one compare
+                # rejects the common case.
+                if share <= threshold:
+                    if share < bottleneck_share:
+                        bottleneck_share = share
+                        threshold = share * (1 + 1e-12)
+                    candidates.append((link, share))
+            if dead_count * 2 > len(links) and len(links) > 16:
+                links = [l for l in links if l._alloc_share != inf]
+                dead_count = 0
+            if bottleneck_share is inf:
+                # All remaining flows traverse only frozen links (cannot
+                # happen with positive capacities, but guard anyway).
+                for flow in flows:
+                    if not flow._frozen:
+                        flow._frozen = True
+                        self._settle(flow, flow._cap)
+                break
+
+            # Freeze cap-limited flows first: any unfrozen flow whose cap
+            # is at or below the current fair share gets exactly its cap.
+            cap_limited = None
+            if min_cap <= bottleneck_share:
+                if by_cap is None:
+                    by_cap = sorted(flows, key=_flow_cap)
+                while cap_cursor < flow_count:
+                    flow = by_cap[cap_cursor]
+                    if flow._cap > bottleneck_share:
+                        break
+                    cap_cursor += 1
+                    if not flow._frozen:
+                        if cap_limited is None:
+                            cap_limited = [flow]
+                        else:
+                            cap_limited.append(flow)
+            if cap_limited is not None:
+                # Freeze in creation order (the classic scan's order) so
+                # per-link subtraction order — and with it the exact
+                # floating-point trajectory — is unchanged.
+                if len(cap_limited) > 1:
+                    cap_limited.sort(key=_flow_seq)
+                for flow in cap_limited:
+                    rate = flow._cap
+                    flow._frozen = True
+                    unfrozen_count -= 1
+                    for link in flow.links:
+                        link._alloc_remaining -= rate
+                        link._alloc_unfrozen -= 1
+                        link._alloc_share = -1.0
+                    # Inline settle (hot site): rate == cap, so a still-
+                    # ramping flow is binding by definition; caps are
+                    # positive, so no clamp needed.
+                    if not flow.ramp_done:
+                        flow.ramp_binding = True
+                    diff = rate - flow.rate
+                    if diff > 1e-9 or diff < -1e-9:
+                        old_rate = flow.rate
+                        flow.rate = rate
+                        if flow.on_rate_change is not None:
+                            flow.on_rate_change(flow, old_rate)
+                continue
+
+            # Otherwise freeze every flow on the bottleneck link(s).  The
+            # candidates are retested against their live share in first-
+            # appearance order — identical outcome to rescanning every
+            # link, since shares only rise as flows freeze.
+            # Candidates were collected in a single ordered pass over
+            # ``links`` (compaction preserves order), so they are already
+            # in first-appearance order — the classic scan's order.
+            frozen_any = False
+            for link, seen_share in candidates:
+                if seen_share > threshold:
+                    continue  # collected under a larger running minimum
+                count = link._alloc_unfrozen
+                if count == 0:
+                    continue
+                if link._alloc_remaining / count <= threshold:
+                    on_link = link.flows
+                    if len(on_link) > 1:
+                        on_link = sorted(on_link, key=_flow_seq)
+                    for flow in on_link:
+                        if flow._frozen:
+                            continue
+                        flow._frozen = True
+                        frozen_any = True
+                        unfrozen_count -= 1
+                        for flow_link in flow.links:
+                            flow_link._alloc_remaining -= bottleneck_share
+                            flow_link._alloc_unfrozen -= 1
+                            flow_link._alloc_share = -1.0
+                        # Inline settle (hot site): every unfrozen flow
+                        # here has cap > share (cap-limited ones froze
+                        # above), so a still-ramping flow is non-binding.
+                        if not flow.ramp_done:
+                            flow.ramp_binding = False
+                        rate = bottleneck_share if bottleneck_share > 0.0 else 0.0
+                        diff = rate - flow.rate
+                        if diff > 1e-9 or diff < -1e-9:
+                            old_rate = flow.rate
+                            flow.rate = rate
+                            if flow.on_rate_change is not None:
+                                flow.on_rate_change(flow, old_rate)
+            if not frozen_any:  # numerical corner: freeze everything
+                for flow in flows:
+                    if not flow._frozen:
+                        flow._frozen = True
+                        rate = flow._cap
+                        if bottleneck_share < rate:
+                            rate = bottleneck_share
+                        unfrozen_count -= 1
+                        self._settle(flow, rate)
+                break
+
+    def _settle(self, flow, rate):
+        """Apply one frozen flow's rate and fire its callback.
+
+        Called at freeze time: freeze order is exactly the order the
+        classic fill's end-of-pass sweep would visit, and callbacks (the
+        transport's reschedules) never touch allocator state, so firing
+        early leaves the event sequence bit-identical.
+        """
+        if not flow.ramp_done:
+            # The ramp cap bound this fill iff it set the rate; the
+            # cap-limited branch is the only one assigning the cap
+            # itself, so equality identifies it exactly.
+            flow.ramp_binding = rate >= flow._cap
+        if rate < 0.0:
+            rate = 0.0
+        diff = rate - flow.rate
+        if diff > 1e-9 or diff < -1e-9:
+            old_rate = flow.rate
+            flow.rate = rate
+            if flow.on_rate_change is not None:
+                # The old rate is passed so byte-progress accrued since
+                # the last event is credited at the rate that actually
+                # applied (crediting at the new rate would let an
+                # oversubscribed link deliver more than its capacity).
+                flow.on_rate_change(flow, old_rate)
+
+    def perf_stats(self):
+        """Allocator work counters (all deterministic for a fixed seed)."""
+        components = self.components_allocated
+        return {
+            "reallocations": self.reallocations,
+            "components_allocated": components,
+            "flows_allocated": self.flows_allocated,
+            "max_component_size": self.max_component_size,
+            "mean_component_size": (
+                round(self.flows_allocated / components, 3) if components else 0.0
+            ),
+        }
 
     @property
     def active_flow_count(self):

@@ -36,9 +36,10 @@ class TraceCollector:
                 self.duplicate_blocks.get(node_id, 0) + 1
             )
             return
-        self.block_arrivals.setdefault(node_id, []).append(
-            (self.sim.now, block)
-        )
+        arrivals = self.block_arrivals.get(node_id)
+        if arrivals is None:
+            arrivals = self.block_arrivals[node_id] = []
+        arrivals.append((self.sim.now, block))
 
     def control_sent(self, node_id, nbytes):
         self.control_bytes[node_id] = self.control_bytes.get(node_id, 0) + nbytes

@@ -23,6 +23,8 @@ messages, reproducing the paper's observation that availability
 information becomes stale on lossy paths.
 """
 
+from collections import deque
+
 __all__ = ["Message", "Connection", "Endpoint", "Network"]
 
 #: Per-message framing overhead in bytes (TCP/IP + protocol header).
@@ -65,14 +67,24 @@ class Message:
 
 
 class Channel:
-    """One direction of a connection: a FIFO drained at the flow's rate."""
+    """One direction of a connection: a FIFO drained at the flow's rate.
+
+    The send queue is a :class:`collections.deque` (popping the head of a
+    list is O(n)) and the queue statistics protocols poll on every block
+    — block counts and byte totals — are maintained as running counters,
+    so ``queued_block_count`` / ``queued_bytes`` / ``send_queue_blocks``
+    are O(1) instead of per-call scans.
+    """
 
     __slots__ = (
         "network",
+        "sim",
         "connection",
         "flow",
         "prop_delay",
         "queue",
+        "queued_blocks",
+        "_queued_wire_bytes",
         "head_remaining",
         "last_advance",
         "idle_since",
@@ -84,10 +96,15 @@ class Channel:
 
     def __init__(self, network, connection, flow, prop_delay):
         self.network = network
+        self.sim = network.sim
         self.connection = connection
         self.flow = flow
         self.prop_delay = prop_delay
-        self.queue = []
+        self.queue = deque()
+        #: Running count of block messages in ``queue`` (head included).
+        self.queued_blocks = 0
+        #: Running sum of size+header over ``queue`` (head included in full).
+        self._queued_wire_bytes = 0
         self.head_remaining = 0.0
         self.last_advance = network.sim.now
         self.idle_since = network.sim.now
@@ -105,10 +122,12 @@ class Channel:
 
     def queued_block_count(self):
         """Blocks waiting behind the one in the socket buffer."""
-        return sum(1 for msg in self.queue[1:] if msg.is_block)
+        if self.queue and self.queue[0].is_block:
+            return self.queued_blocks - 1
+        return self.queued_blocks
 
     def queued_bytes(self):
-        total = sum(msg.size + MESSAGE_HEADER_BYTES for msg in self.queue)
+        total = self._queued_wire_bytes
         if self.queue:
             # Subtract what the head message already transmitted.
             head_size = self.queue[0].size + MESSAGE_HEADER_BYTES
@@ -120,7 +139,7 @@ class Channel:
     def enqueue(self, message):
         if self.closed:
             raise RuntimeError("send on closed channel")
-        now = self.network.sim.now
+        now = self.sim.now
         message._enqueued_at = now
         if message.is_block:
             if not self.queue and self.idle_since is not None:
@@ -135,13 +154,15 @@ class Channel:
                 message.in_front = self.queued_block_count() + (
                     1 if self.queue else 0
                 )
+            self.queued_blocks += 1
+        self._queued_wire_bytes += message.size + MESSAGE_HEADER_BYTES
         self.queue.append(message)
         if len(self.queue) == 1:
             self._start_head()
 
     def _start_head(self):
         message = self.queue[0]
-        now = self.network.sim.now
+        now = self.sim.now
         self.idle_since = None
         self.head_started_tx = now
         if message.is_block and message._enqueued_at is not None:
@@ -154,7 +175,7 @@ class Channel:
         self._reschedule()
 
     def _advance_progress(self, rate=None):
-        now = self.network.sim.now
+        now = self.sim.now
         if rate is None:
             rate = self.flow.rate
         if self.queue and rate > 0:
@@ -176,21 +197,25 @@ class Channel:
         if self.flow.rate <= 0:
             return  # wait for the next reallocation to assign a rate
         delay = self.head_remaining / self.flow.rate
-        self._event = self.network.sim.schedule(delay, self._head_transmitted)
+        self._event = self.sim.schedule(delay, self._head_transmitted)
 
     def _head_transmitted(self):
         self._event = None
         self._advance_progress()
         if not self.queue:
             return
-        message = self.queue.pop(0)
-        self.bytes_sent += message.size + MESSAGE_HEADER_BYTES
+        message = self.queue.popleft()
+        wire_size = message.size + MESSAGE_HEADER_BYTES
+        self.bytes_sent += wire_size
+        self._queued_wire_bytes -= wire_size
+        if message.is_block:
+            self.queued_blocks -= 1
         self._deliver_later(message)
         if self.queue:
             self._start_head()
         else:
             self.network.flows.deactivate(self.flow)
-            self.idle_since = self.network.sim.now
+            self.idle_since = self.sim.now
         conn = self.connection
         if conn.on_sent is not None and not conn.closed:
             conn.on_sent(conn, message)
@@ -203,9 +228,9 @@ class Channel:
             # the Mathis rate cap.
             if self.network.rng.random() < self.flow.loss:
                 delay += self.flow.rto
-        self.network.sim.schedule(
-            delay, lambda: self.connection._deliver(message)
-        )
+        # Bound-method + args scheduling: no per-message closure on the
+        # busiest path in the simulator.
+        self.sim.schedule(delay, self.connection._deliver, message)
 
     def close(self):
         self.closed = True
@@ -214,6 +239,8 @@ class Channel:
             self._event = None
         if self.queue:
             self.queue.clear()
+            self.queued_blocks = 0
+            self._queued_wire_bytes = 0
             self.network.flows.deactivate(self.flow)
         self.flow.on_rate_change = None
 
@@ -285,8 +312,7 @@ class Connection:
     @property
     def send_queue_blocks(self):
         """Blocks queued on the outbound channel (including in transit)."""
-        channel = self._out_channel
-        return sum(1 for msg in channel.queue if msg.is_block)
+        return self._out_channel.queued_blocks
 
     @property
     def send_rate(self):

@@ -1,0 +1,154 @@
+"""Incremental allocation must be bit-identical to full recomputation.
+
+The component-scoped allocator's contract (see the ``repro.sim.tcp``
+module docstring) is that skipping clean components changes *nothing*:
+for any sequence of activations, deactivations, and capacity changes,
+every flow's rate — and the event sequence driven by rate-change
+callbacks — matches a :class:`FlowNetwork` that recomputes every
+component on every pass.  These tests drive both allocator modes with
+randomized operation scripts on randomized topologies and compare every
+flow rate for exact (bit-level) equality at every checkpoint.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.links import Link
+from repro.sim.tcp import FlowNetwork
+
+
+def _build_world(seed, incremental, num_links=12, num_flows=24):
+    """One (sim, network, links, flows) universe; two calls with the same
+    seed build identical twins (separate Link/Flow objects)."""
+    rng = random.Random(seed)
+    sim = Simulator()
+    net = FlowNetwork(sim, reallocation_interval=0.01, incremental=incremental)
+    links = [
+        Link(
+            f"l{i}",
+            capacity=rng.uniform(50_000, 2_000_000),
+            delay=rng.uniform(0.001, 0.2),
+            loss_rate=rng.choice([0.0, rng.uniform(0.0, 0.05)]),
+        )
+        for i in range(num_links)
+    ]
+    flows = []
+    for i in range(num_flows):
+        path = rng.sample(links, rng.randint(1, 3))
+        flows.append(net.new_flow(f"f{i}", path))
+    return sim, net, links, flows
+
+
+def _random_script(seed, num_links, num_flows, num_ops=120, horizon=30.0):
+    """Timestamped operations referring to links/flows by index, so the
+    same script can drive both twin universes."""
+    rng = random.Random(seed * 7919 + 13)
+    ops = []
+    for _ in range(num_ops):
+        t = rng.uniform(0.0, horizon)
+        kind = rng.choice(["activate", "deactivate", "capacity", "scale"])
+        if kind == "activate":
+            ops.append((t, "activate", rng.randrange(num_flows)))
+        elif kind == "deactivate":
+            ops.append((t, "deactivate", rng.randrange(num_flows)))
+        elif kind == "capacity":
+            ops.append(
+                (t, "capacity", rng.randrange(num_links),
+                 rng.uniform(20_000, 3_000_000))
+            )
+        else:
+            ops.append(
+                (t, "scale", rng.randrange(num_links),
+                 rng.choice([0.25, 0.5, 2.0, 4.0]))
+            )
+    ops.sort(key=lambda op: op[0])
+    return ops
+
+
+def _install(sim, net, links, flows, ops):
+    for op in ops:
+        if op[1] == "activate":
+            sim.schedule_at(op[0], net.activate, flows[op[2]])
+        elif op[1] == "deactivate":
+            sim.schedule_at(op[0], net.deactivate, flows[op[2]])
+        elif op[1] == "capacity":
+            def set_cap(link=links[op[2]], value=op[3]):
+                link.capacity = value
+            sim.schedule_at(op[0], set_cap)
+        else:
+            def scale(link=links[op[2]], factor=op[3]):
+                link.scale_capacity(factor)
+            sim.schedule_at(op[0], scale)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_incremental_matches_full_on_random_scripts(seed):
+    sim_i, net_i, links_i, flows_i = _build_world(seed, incremental=True)
+    sim_f, net_f, links_f, flows_f = _build_world(seed, incremental=False)
+    ops = _random_script(seed, len(links_i), len(flows_i))
+    _install(sim_i, net_i, links_i, flows_i, ops)
+    _install(sim_f, net_f, links_f, flows_f, ops)
+
+    # Compare at many checkpoints, not just the end: transient rates are
+    # part of the contract (they drive transmission-complete timing).
+    for checkpoint in [2.0, 5.0, 9.0, 14.0, 21.0, 35.0, 60.0]:
+        sim_i.run(until=checkpoint)
+        sim_f.run(until=checkpoint)
+        assert sim_i.now == sim_f.now
+        for a, b in zip(flows_i, flows_f):
+            assert a.rate == b.rate, (
+                f"seed {seed} t={checkpoint}: {a.name} "
+                f"incremental={a.rate!r} full={b.rate!r}"
+            )
+            assert a.active == b.active
+            assert a.ramp_done == b.ramp_done
+    # Both modes must have run the same coalesced passes.
+    assert net_i.reallocations == net_f.reallocations
+
+
+def test_incremental_skips_clean_components():
+    """Two disjoint link groups: churning one must not re-fill the other."""
+    sim = Simulator()
+    net = FlowNetwork(sim, reallocation_interval=0.0, incremental=True)
+    left = Link("left", capacity=1000.0)
+    right = Link("right", capacity=1000.0)
+    f_left = net.new_flow("fl", [left])
+    f_right = net.new_flow("fr", [right])
+    f_left.ramp_done = True  # isolate the dirtiness logic from ramping
+    f_right.ramp_done = True
+    net.activate(f_left)
+    net.activate(f_right)
+    sim.run(until=1.0)
+    assert f_left.rate == 1000.0 and f_right.rate == 1000.0
+    flows_allocated = net.flows_allocated
+
+    # Churn only the left component.
+    for i in range(5):
+        sim.schedule(0.1 * i, left.scale_capacity, 0.5)
+    sim.run(until=2.0)
+    assert f_left.rate == 1000.0 * 0.5**5
+    assert f_right.rate == 1000.0
+    # Only the left flow was ever re-allocated.
+    assert net.flows_allocated - flows_allocated == 5
+
+
+def test_full_mode_refills_everything():
+    sim = Simulator()
+    net = FlowNetwork(sim, reallocation_interval=0.0, incremental=False)
+    left = Link("left", capacity=1000.0)
+    right = Link("right", capacity=1000.0)
+    f_left = net.new_flow("fl", [left])
+    f_right = net.new_flow("fr", [right])
+    f_left.ramp_done = True
+    f_right.ramp_done = True
+    net.activate(f_left)
+    net.activate(f_right)
+    sim.run(until=1.0)
+    baseline = net.flows_allocated
+    sim.schedule(0.0, left.scale_capacity, 0.5)
+    sim.run(until=2.0)
+    # Both components re-filled even though only one changed.
+    assert net.flows_allocated - baseline == 2
+    assert f_right.rate == 1000.0

@@ -61,6 +61,47 @@ def test_cli_run_text_output(capsys):
     assert "median" in out
 
 
+PROFILE_KEYS = {
+    "events_processed",
+    "events_per_second",
+    "reallocations",
+    "components_allocated",
+    "flows_allocated",
+    "max_component_size",
+    "mean_component_size",
+    "wall_seconds",
+}
+
+
+def test_cli_run_profile_json(capsys):
+    code = main(
+        ["run", "--system", "bulletprime", "--scenario", "none", "--nodes",
+         "8", "--blocks", "16", "--json", "--profile"]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert PROFILE_KEYS <= set(doc["profile"])
+    assert doc["profile"]["events_processed"] > 0
+    assert doc["profile"]["reallocations"] > 0
+    assert doc["profile"]["max_component_size"] >= 1
+    # The deterministic counters also ride in the summary.
+    assert doc["summary"]["perf"]["events_processed"] == (
+        doc["profile"]["events_processed"]
+    )
+
+
+def test_cli_run_profile_text(capsys):
+    code = main(
+        ["run", "--system", "bulletprime", "--scenario", "none", "--nodes",
+         "8", "--blocks", "16", "--profile"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "profile:" in out
+    assert "events_processed" in out
+    assert "reallocations" in out
+
+
 def test_cli_run_unknown_names_fail_cleanly(capsys):
     code = main(["run", "--system", "napster", "--nodes", "4", "--blocks", "8"])
     assert code == 2

@@ -56,6 +56,36 @@ class TestScheduling:
         assert seen == [("outer", 1.0), ("inner", 2.0)]
 
 
+class TestScheduleArgs:
+    """Positional-argument scheduling (the closure-free fast path)."""
+
+    def test_args_passed_through(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(1.0, got.append, "x")
+        sim.schedule_at(2.0, lambda a, b: got.append((a, b)), 1, 2)
+        sim.run()
+        assert got == ["x", (1, 2)]
+
+    def test_cancelled_args_released(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, print, "never")
+        timer.cancel()
+        assert timer._args == ()
+        sim.run()
+
+
+class TestEventsProcessed:
+    def test_counts_executed_callbacks_only(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        cancelled = sim.schedule(2.0, lambda: None)
+        cancelled.cancel()
+        sim.run()
+        assert sim.events_processed == 5
+
+
 class TestCancellation:
     def test_cancelled_event_skipped(self):
         sim = Simulator()
@@ -135,6 +165,15 @@ class TestPeriodic:
         sim = Simulator()
         with pytest.raises(ValueError):
             sim.schedule_periodic(0.0, lambda: True)
+
+    def test_periodic_handles_share_one_class(self):
+        # The handle class is defined at module level, not per call.
+        sim = Simulator()
+        a = sim.schedule_periodic(1.0, lambda: True)
+        b = sim.schedule_periodic(1.0, lambda: True)
+        assert type(a) is type(b)
+        a.cancel()
+        b.cancel()
 
     def test_jittered_period_stays_within_band(self):
         import random

@@ -7,6 +7,9 @@ deterministic — the same seed and scenario name produce bit-identical
 summaries.
 """
 
+import json
+import pathlib
+
 import pytest
 
 from repro.harness.experiment import run_experiment
@@ -17,8 +20,13 @@ N = 8
 NB = 24
 MAX_TIME = 900.0
 
+#: Summaries recorded from the pre-incremental (global-reallocation)
+#: allocator for every (system, scenario, seed) cell of this matrix —
+#: the golden baseline the new allocator must reproduce bit-for-bit.
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_matrix_summaries.json"
 
-def _run(system_name, scenario_name, seed=1):
+
+def _run(system_name, scenario_name, seed=1, flow_allocator="incremental"):
     entry = SYSTEMS.get(system_name)
     return run_experiment(
         mesh_topology(N, seed=seed),
@@ -27,7 +35,16 @@ def _run(system_name, scenario_name, seed=1):
         scenario=SCENARIOS.build(scenario_name),
         max_time=MAX_TIME,
         seed=seed,
+        flow_allocator=flow_allocator,
     )
+
+
+def _comparable(summary):
+    """Summary minus the perf counters (which intentionally differ
+    between allocator modes: that is what incremental mode saves)."""
+    summary = dict(summary)
+    summary.pop("perf", None)
+    return summary
 
 
 @pytest.mark.parametrize("scenario_name", SCENARIOS.names())
@@ -50,6 +67,35 @@ def test_summary_bit_identical_across_runs(scenario_name):
     first = _run("bullet_prime", scenario_name, seed=3).summary()
     second = _run("bullet_prime", scenario_name, seed=3).summary()
     assert first == second
+
+
+@pytest.mark.parametrize("scenario_name", SCENARIOS.names())
+def test_incremental_allocator_bit_identical_to_full(scenario_name):
+    """The tentpole invariant: component-scoped incremental allocation
+    produces exactly the results of recomputing every component, across
+    the whole scenario catalogue."""
+    incremental = _run(
+        "bullet_prime", scenario_name, seed=3, flow_allocator="incremental"
+    )
+    full = _run("bullet_prime", scenario_name, seed=3, flow_allocator="full")
+    assert _comparable(incremental.summary()) == _comparable(full.summary())
+    # Incremental mode must do no *more* allocator work than full mode.
+    assert (
+        incremental.flows.flows_allocated <= full.flows.flows_allocated
+    )
+
+
+def test_matrix_matches_recorded_golden_summaries():
+    """Every (system, scenario, seed) cell reproduces the summaries
+    recorded from the pre-incremental global allocator, bit for bit."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert len(golden) == len(SYSTEMS.names()) * len(SCENARIOS.names()) * 2
+    for key, expected in golden.items():
+        system_name, scenario_name, seed = key.split("|")
+        got = _comparable(
+            _run(system_name, scenario_name, seed=int(seed)).summary()
+        )
+        assert got == expected, f"summary drifted from golden for {key}"
 
 
 def test_scenario_resolves_by_name_in_run_experiment():

@@ -163,6 +163,88 @@ class TestSenderAccounting:
         assert local.send_queue_blocks == 0
 
 
+class TestChannelCounterAccounting:
+    """The deque-backed channel keeps running counters; they must agree
+    with a from-scratch scan of the queue at every point in time."""
+
+    @staticmethod
+    def _recount(channel):
+        blocks = sum(1 for m in channel.queue if m.is_block)
+        wire = sum(m.size + MESSAGE_HEADER_BYTES for m in channel.queue)
+        return blocks, wire
+
+    def test_counters_track_mixed_traffic(self):
+        sim, net = _two_node_net(core_bw=50_000)
+        local, _ = _connect(sim, net)
+        channel = local._out_channel
+        pattern = [True, False, True, True, False, True, False, False, True]
+        for i, is_block in enumerate(pattern):
+            local.send(
+                Message(
+                    "b" if is_block else "c",
+                    size=20_000 if is_block else 300,
+                    is_block=is_block,
+                )
+            )
+            blocks, wire = self._recount(channel)
+            assert channel.queued_blocks == blocks
+            assert local.send_queue_blocks == blocks
+            assert channel._queued_wire_bytes == wire
+
+        # Drain step by step: counters must stay consistent after every
+        # transmission completes.  Bounded so a stalled queue fails the
+        # test instead of spinning forever.
+        for _ in range(200):
+            if not channel.queue:
+                break
+            before = len(channel.queue)
+            sim.run(until=sim.now + 1.0)
+            if len(channel.queue) == before:
+                continue
+            blocks, wire = self._recount(channel)
+            assert channel.queued_blocks == blocks
+            assert channel._queued_wire_bytes == wire
+        assert not channel.queue, "send queue failed to drain"
+        assert channel.queued_blocks == 0
+        assert channel._queued_wire_bytes == 0
+
+    def test_queued_block_count_excludes_transmitting_head(self):
+        sim, net = _two_node_net(core_bw=10_000)
+        local, _ = _connect(sim, net)
+        channel = local._out_channel
+        for _ in range(3):
+            local.send(Message("b", size=5_000, is_block=True))
+        # Head is in the "socket buffer": behind it sit two blocks.
+        assert channel.queued_block_count() == 2
+        local.send(Message("c", size=100, is_block=False))
+        assert channel.queued_block_count() == 2  # control doesn't count
+
+    def test_queued_bytes_matches_scan_with_partial_head(self):
+        sim, net = _two_node_net(core_bw=10_000)
+        local, _ = _connect(sim, net)
+        channel = local._out_channel
+        for _ in range(2):
+            local.send(Message("b", size=5_000, is_block=True))
+        sim.run(until=sim.now + 0.2)  # transmit part of the head
+        channel._advance_progress()
+        _, wire = self._recount(channel)
+        head_size = channel.queue[0].size + MESSAGE_HEADER_BYTES
+        expected = wire - (head_size - channel.head_remaining)
+        assert channel.queued_bytes() == pytest.approx(expected)
+        assert channel.queued_bytes() < wire  # some head bytes are gone
+
+    def test_close_resets_counters(self):
+        sim, net = _two_node_net()
+        local, _ = _connect(sim, net)
+        channel = local._out_channel
+        for _ in range(3):
+            local.send(Message("b", size=5_000, is_block=True))
+        local.close()
+        assert channel.queued_blocks == 0
+        assert channel._queued_wire_bytes == 0
+        assert len(channel.queue) == 0
+
+
 class TestControlMessageLossDelay:
     def test_lossy_path_sometimes_delays_control(self):
         sim, net = _two_node_net(delay=5 * MS, loss=0.3)
