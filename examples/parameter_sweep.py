@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Parameter sweep: how fast does churn have to get before Bullet'
+degrades?
+
+Declares a sweep grid over the churn scenario's ``period`` and
+``fraction`` knobs (validated against the schemas the scenario
+registered), runs every cell across a 2-process worker pool — the
+merged results are bit-identical to a serial run — and prints the
+cross-seed aggregate statistics (mean / 95% CI over seeds).
+
+Run:  python examples/parameter_sweep.py
+
+The same sweep is expressible declaratively (see sweep_spec.json):
+
+    python -m repro sweep --spec examples/sweep_spec.json --workers 2
+"""
+
+from repro.harness.sweep import SweepSpec, run_sweep
+
+
+def main():
+    spec = SweepSpec(
+        systems=("bullet_prime",),
+        scenarios=(
+            "none",
+            {
+                "name": "churn",
+                "params": {
+                    "period": [30.0, 10.0, 5.0],
+                    "fraction": [0.1, 0.3],
+                },
+            },
+        ),
+        nodes=(12,),
+        blocks=(48,),
+        seeds=(0, 1, 2),
+        max_time=3000.0,
+    )
+    cells = spec.expand()
+    print(f"sweep: {len(cells)} cells "
+          f"({len(cells) // len(spec.seeds)} configs x {len(spec.seeds)} seeds)")
+
+    result = run_sweep(spec, workers=2)
+    print(result.render_aggregates())
+
+    static = result.aggregates()[0]["median"]["mean"]
+    print()
+    print(f"static control case: median {static:.1f}s; "
+          "churn rows above show degradation as period shrinks "
+          "and fraction grows")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 """Command-line entry point.
 
-Three families of commands:
+Four families of commands:
 
 Figures — reproduce any of the paper's figures::
 
@@ -15,13 +15,24 @@ Registry-driven runs — any system under any scenario::
     python -m repro run --system bittorrent --scenario churn \\
         --topology planetlab
 
+Parameter sweeps — grids over systems x scenarios (and their knobs) x
+topologies x scales x seeds, executed across a worker pool::
+
+    python -m repro sweep --systems bullet_prime,bittorrent \\
+        --scenarios none,churn --seeds 0:4 --workers 4 --out results.jsonl
+    python -m repro sweep --spec examples/sweep_spec.json --workers 2
+    python -m repro sweep --golden-matrix --workers 4 \\
+        --check-golden tests/data/golden_matrix_summaries.json
+
 Discovery — enumerate everything registered::
 
     python -m repro list
     python -m repro list --json
 
 Figure output is the text rendering of the figure's data; ``run``
-prints a completion-time summary (or the same as JSON with ``--json``).
+prints a completion-time summary (or the same as JSON with ``--json``);
+``sweep`` prints cross-seed aggregates and writes the per-cell JSONL
+results store with ``--out``.
 """
 
 import argparse
@@ -32,19 +43,12 @@ import time
 from repro.harness.experiment import run_experiment
 from repro.harness.figures import FIGURES, run_figure
 from repro.harness.registry import SCENARIOS, SYSTEMS, WORKLOADS
-from repro.sim.topology import (
-    constrained_access_topology,
-    mesh_topology,
-    planetlab_like_topology,
-    star_topology,
+from repro.harness.sweep import (
+    TOPOLOGIES,
+    SweepSpec,
+    golden_matrix_spec,
+    run_sweep,
 )
-
-TOPOLOGIES = {
-    "mesh": mesh_topology,
-    "constrained": constrained_access_topology,
-    "planetlab": planetlab_like_topology,
-    "star": lambda num_nodes, seed=0: star_topology(num_nodes),
-}
 
 
 def _parse_figure_args(argv):
@@ -235,6 +239,250 @@ def _run_command(argv):
     return 0
 
 
+def _parse_sweep_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro sweep",
+        description=(
+            "Run a parameter sweep: a grid over systems, scenarios "
+            "(with per-scenario parameter grids via --spec), topologies, "
+            "scales, and seeds, executed across a worker pool.  Results "
+            "are bit-identical for any --workers value."
+        ),
+    )
+    parser.add_argument(
+        "--spec",
+        default=None,
+        help="JSON sweep-spec file (see examples/sweep_spec.json); "
+        "grid flags below override its fields",
+    )
+    parser.add_argument(
+        "--golden-matrix",
+        action="store_true",
+        help="use the built-in acceptance matrix: every system x every "
+        "scenario x seeds 1,3,5,7 on the 8-node mesh (112 cells)",
+    )
+    parser.add_argument(
+        "--systems", default=None, help="comma-separated system names/aliases"
+    )
+    parser.add_argument(
+        "--scenarios",
+        default=None,
+        help="comma-separated scenario names/aliases",
+    )
+    parser.add_argument(
+        "--topologies",
+        default=None,
+        help=f"comma-separated topology families ({', '.join(sorted(TOPOLOGIES))})",
+    )
+    parser.add_argument(
+        "--nodes", default=None, help="comma-separated overlay sizes"
+    )
+    parser.add_argument(
+        "--blocks", default=None, help="comma-separated file sizes in blocks"
+    )
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        help="seeds: comma-separated values and/or start:stop ranges "
+        "(e.g. '0:4' or '1,3,5:8')",
+    )
+    parser.add_argument(
+        "--max-time", type=float, default=None, help="simulated-seconds cap"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (default 1: serial; results are "
+        "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="write the per-cell JSONL results store here",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the spec + aggregates as JSON on stdout",
+    )
+    parser.add_argument(
+        "--check-golden",
+        default=None,
+        metavar="PATH",
+        help="compare summaries against a recorded golden-summaries JSON "
+        "file; exit 1 on any bit-level mismatch",
+    )
+    return parser.parse_args(argv)
+
+
+def _parse_seeds(text):
+    seeds = []
+    for token in text.split(","):
+        token = token.strip()
+        if ":" in token:
+            start, _, stop = token.partition(":")
+            seeds.extend(range(int(start), int(stop)))
+        elif token:
+            seeds.append(int(token))
+    return seeds
+
+
+def _comma_list(text):
+    return [token.strip() for token in text.split(",") if token.strip()]
+
+
+def _build_sweep_spec(args):
+    if args.golden_matrix:
+        # The acceptance matrix is fixed by definition; silently
+        # ignoring grid flags would let a user believe an override took
+        # effect when it never could.
+        conflicting = [
+            flag
+            for flag, value in (
+                ("--spec", args.spec),
+                ("--systems", args.systems),
+                ("--scenarios", args.scenarios),
+                ("--topologies", args.topologies),
+                ("--nodes", args.nodes),
+                ("--blocks", args.blocks),
+                ("--seeds", args.seeds),
+                ("--max-time", args.max_time),
+            )
+            if value is not None
+        ]
+        if conflicting:
+            raise ValueError(
+                f"--golden-matrix fixes the whole grid; drop "
+                f"{', '.join(conflicting)}"
+            )
+        return golden_matrix_spec()
+    doc = {}
+    if args.spec is not None:
+        # Normalize through SweepSpec so flag overrides apply on top of
+        # a validated file.
+        doc = SweepSpec.from_file(args.spec).to_dict()
+    if args.systems is not None:
+        doc["systems"] = _comma_list(args.systems)
+    if args.scenarios is not None:
+        doc["scenarios"] = _comma_list(args.scenarios)
+    if args.topologies is not None:
+        doc["topologies"] = _comma_list(args.topologies)
+    if args.nodes is not None:
+        doc["nodes"] = [int(n) for n in _comma_list(args.nodes)]
+    if args.blocks is not None:
+        doc["blocks"] = [int(b) for b in _comma_list(args.blocks)]
+    if args.seeds is not None:
+        doc["seeds"] = _parse_seeds(args.seeds)
+    if args.max_time is not None:
+        doc["max_time"] = args.max_time
+    return SweepSpec.from_dict(doc)
+
+
+def _check_golden(result, golden):
+    """Compare sweep summaries (minus perf counters) to recorded golden
+    summaries keyed ``system|scenario|seed``.  Returns an exit code."""
+    checked, mismatched = set(), []
+    for record in result.records:
+        cell = record["cell"]
+        if cell["scenario_params"]:
+            continue  # goldens are recorded at catalogue defaults
+        key = f"{cell['system']}|{cell['scenario']}|{cell['seed']}"
+        expected = golden.get(key)
+        # Goldens pin the scale they were recorded at through their
+        # completion count ("nodes"); a sweep cell at another scale is
+        # a different experiment, not a drifted one — skip it rather
+        # than spuriously mismatch.
+        if expected is None or record["summary"]["nodes"] != expected["nodes"]:
+            continue
+        if key in checked:
+            print(
+                f"error: multiple sweep cells map to golden {key!r} "
+                "(grid spans several scales?)",
+                file=sys.stderr,
+            )
+            return 1
+        checked.add(key)
+        summary = {
+            k: v for k, v in record["summary"].items() if k != "perf"
+        }
+        if summary != expected:
+            mismatched.append(key)
+    print(
+        f"golden check: {len(checked)}/{len(golden)} recorded cells "
+        f"covered, {len(mismatched)} mismatched",
+        file=sys.stderr,
+    )
+    if mismatched:
+        for key in mismatched[:10]:
+            print(f"  summary drifted from golden: {key}", file=sys.stderr)
+        return 1
+    uncovered = sorted(set(golden) - checked)
+    if uncovered:
+        print(
+            f"error: sweep did not cover {len(uncovered)} recorded golden "
+            "cell(s) — grid at another scale, or the run no longer "
+            "completes the recorded node count:",
+            file=sys.stderr,
+        )
+        for key in uncovered[:10]:
+            print(f"  not covered: {key}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _sweep_command(argv):
+    args = _parse_sweep_args(argv)
+    golden = None
+    try:
+        spec = _build_sweep_spec(args)
+        total = len(spec.expand())
+        if args.check_golden is not None:
+            # Load before the sweep: a typo'd path must not cost a run.
+            with open(args.check_golden, encoding="utf-8") as fh:
+                golden = json.load(fh)
+    except (OSError, ValueError, KeyError) as exc:
+        # KeyError str()-wraps its message in quotes; everything else
+        # formats best as-is (OSError's args[0] is a bare errno).
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+
+    def progress(done, total, key):
+        print(f"[{done}/{total}] {key}", file=sys.stderr)
+
+    started = time.time()
+    result = run_sweep(spec, workers=args.workers, progress=progress)
+    elapsed = time.time() - started
+    if args.out is not None:
+        result.write_jsonl(args.out)
+    if args.json:
+        print(
+            json.dumps(
+                # Deliberately no workers/wall-clock fields: JSON
+                # output is bit-identical however the sweep was run.
+                {
+                    "spec": spec.to_dict(),
+                    "cells": len(result),
+                    "aggregates": result.aggregates(),
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(result.render_aggregates())
+        if args.out is not None:
+            print(f"wrote {len(result)} cells to {args.out}")
+        print(
+            f"[swept {total} cells with {args.workers} worker(s) "
+            f"in {elapsed:.1f}s]"
+        )
+    if golden is not None:
+        return _check_golden(result, golden)
+    return 0
+
+
 def _parse_list_args(argv):
     parser = argparse.ArgumentParser(
         prog="repro list",
@@ -255,20 +503,22 @@ def _list_command(argv):
     ]
     if args.json:
         doc = {
-            title: [
-                {"name": name, "description": desc, "aliases": list(aliases)}
-                for name, desc, aliases in registry.describe()
-            ]
-            for title, registry in registries
+            title: registry.describe() for title, registry in registries
         }
         doc["figures"] = sorted(FIGURES)
         print(json.dumps(doc, indent=1, sort_keys=True))
         return 0
     for title, registry in registries:
         print(f"{title}:")
-        for name, desc, aliases in registry.describe():
+        for entry in registry.describe():
+            aliases = entry["aliases"]
             alias_note = f" (aliases: {', '.join(aliases)})" if aliases else ""
-            print(f"  {name:22s} {desc}{alias_note}")
+            print(f"  {entry['name']:22s} {entry['description']}{alias_note}")
+            if entry["params"]:
+                knobs = ", ".join(
+                    f"{p['name']}={p['default']!r}" for p in entry["params"]
+                )
+                print(f"  {'':22s} params: {knobs}")
         print()
     print(f"figures: {', '.join(sorted(FIGURES))} (or 'all')")
     return 0
@@ -278,6 +528,8 @@ def main(argv=None):
     argv = list(argv if argv is not None else sys.argv[1:])
     if argv and argv[0] == "run":
         return _run_command(argv[1:])
+    if argv and argv[0] == "sweep":
+        return _sweep_command(argv[1:])
     if argv and argv[0] == "list":
         return _list_command(argv[1:])
     return _figures_command(argv)

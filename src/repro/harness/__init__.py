@@ -7,6 +7,10 @@
   names through these.
 - :mod:`repro.harness.experiment` — generic runner: topology + system +
   optional dynamic scenario -> completion-time CDF and traces.
+- :mod:`repro.harness.sweep` — declarative parameter sweeps over the
+  whole matrix (systems x scenarios x knobs x topologies x scales x
+  seeds) on a multiprocess worker pool; bit-identical results for any
+  worker count.
 - :mod:`repro.harness.workloads` — file and delta workload generators.
 - :mod:`repro.harness.figures` — one entry point per paper figure.
 - :mod:`repro.harness.report` — text rendering of figure data.
@@ -15,6 +19,7 @@
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.figures import FIGURES, run_figure
 from repro.harness.registry import SCENARIOS, SYSTEMS, WORKLOADS
+from repro.harness.sweep import SweepSpec, run_sweep
 
 __all__ = [
     "ExperimentResult",
@@ -24,4 +29,6 @@ __all__ = [
     "SYSTEMS",
     "SCENARIOS",
     "WORKLOADS",
+    "SweepSpec",
+    "run_sweep",
 ]

@@ -17,27 +17,114 @@ free.
 
 import importlib
 
-__all__ = ["Registry", "RegistryEntry", "SYSTEMS", "SCENARIOS", "WORKLOADS"]
+__all__ = [
+    "Param",
+    "Registry",
+    "RegistryEntry",
+    "SYSTEMS",
+    "SCENARIOS",
+    "WORKLOADS",
+]
 
 
 def _normalize(name):
     return name.lower().replace("-", "").replace("_", "")
 
 
+class Param:
+    """One declared knob of a registered builder.
+
+    Declaring params makes a builder's keyword arguments *data*: sweep
+    specs and CLI flags can enumerate, validate, and coerce them without
+    importing the implementing class.  ``kind`` is one of ``"float"``,
+    ``"int"``, ``"str"``, ``"bool"``; ``default`` is display metadata
+    (the builder's own default still applies when the knob is omitted).
+    """
+
+    __slots__ = ("name", "kind", "default", "description")
+
+    _KINDS = {"float": float, "int": int, "str": str, "bool": bool}
+
+    def __init__(self, name, kind, default=None, description=""):
+        if kind not in self._KINDS:
+            raise ValueError(
+                f"param {name!r}: kind must be one of "
+                f"{sorted(self._KINDS)}, got {kind!r}"
+            )
+        self.name = name
+        self.kind = kind
+        self.default = default
+        self.description = description
+
+    def coerce(self, value):
+        """Coerce a spec-file / CLI value to this param's kind."""
+        if value is None:
+            return None
+        if self.kind == "bool":
+            if isinstance(value, bool):
+                return value
+            if isinstance(value, str) and value.lower() in ("true", "false"):
+                return value.lower() == "true"
+            raise ValueError(
+                f"param {self.name!r} expects a bool, got {value!r}"
+            )
+        try:
+            return self._KINDS[self.kind](value)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"param {self.name!r} expects {self.kind}, got {value!r}"
+            ) from None
+
+    def as_dict(self):
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "default": self.default,
+            "description": self.description,
+        }
+
+    def __repr__(self):
+        return f"Param({self.name!r}, {self.kind!r}, default={self.default!r})"
+
+
 class RegistryEntry:
     """One registered name: the builder plus display metadata."""
 
-    __slots__ = ("name", "builder", "description", "aliases", "extras")
+    __slots__ = ("name", "builder", "description", "aliases", "params", "extras")
 
-    def __init__(self, name, builder, description="", aliases=(), **extras):
+    def __init__(
+        self, name, builder, description="", aliases=(), params=(), **extras
+    ):
         self.name = name
         self.builder = builder
         self.description = description
         self.aliases = tuple(aliases)
+        self.params = tuple(params)
         self.extras = extras
+        seen = set()
+        for param in self.params:
+            if param.name in seen:
+                raise ValueError(
+                    f"{name!r} declares param {param.name!r} twice"
+                )
+            seen.add(param.name)
 
     def build(self, **kwargs):
         return self.builder(**kwargs)
+
+    def param(self, key):
+        """The declared :class:`Param` named ``key``, or raise KeyError."""
+        for param in self.params:
+            if param.name == key:
+                return param
+        raise KeyError(
+            f"{self.name!r} has no param {key!r}; declared: "
+            f"{[p.name for p in self.params]}"
+        )
+
+    def coerce_params(self, mapping):
+        """Validate + coerce ``{knob: value}`` against the declared schema."""
+        return {key: self.param(key).coerce(value) for key, value in mapping.items()}
 
     def __repr__(self):
         return f"RegistryEntry({self.name!r})"
@@ -66,22 +153,43 @@ class Registry:
             self._populated = True
             importlib.import_module(self._populate)
 
-    def register(self, name, builder, *, description="", aliases=(), **extras):
-        """Register ``builder`` under ``name`` (plus ``aliases``)."""
+    def register(
+        self, name, builder, *, description="", aliases=(), params=(), **extras
+    ):
+        """Register ``builder`` under ``name`` (plus ``aliases``).
+
+        Registration is all-or-nothing: a duplicate name, or an alias
+        that collides with any already-registered name or alias (after
+        normalization), raises :class:`ValueError` and leaves the
+        registry untouched — nothing is ever silently overwritten.
+        """
         if name in self._entries:
-            raise ValueError(f"duplicate {self.kind} name {name!r}")
+            raise ValueError(
+                f"duplicate {self.kind} name {name!r} (already registered; "
+                f"names are never overwritten)"
+            )
         entry = RegistryEntry(
-            name, builder, description=description, aliases=aliases, **extras
+            name,
+            builder,
+            description=description,
+            aliases=aliases,
+            params=params,
+            **extras,
         )
-        self._entries[name] = entry
+        # Validate every key before committing any of them, so a failed
+        # registration cannot leave a half-visible entry behind.
+        staged = {}
         for key in (name, *aliases):
             normalized = _normalize(key)
             other = self._lookup.get(normalized)
             if other is not None and other != name:
                 raise ValueError(
-                    f"{self.kind} alias {key!r} collides with {other!r}"
+                    f"{self.kind} alias {key!r} collides with the existing "
+                    f"{self.kind} {other!r}"
                 )
-            self._lookup[normalized] = name
+            staged[normalized] = name
+        self._entries[name] = entry
+        self._lookup.update(staged)
         return entry
 
     def get(self, name):
@@ -126,10 +234,17 @@ class Registry:
         return len(self._entries)
 
     def describe(self):
-        """``[(name, description, aliases), ...]`` for CLI listings."""
+        """Display metadata for CLI listings: one dict per entry with
+        ``name``, ``description``, ``aliases``, and ``params`` (the
+        declared :class:`Param` schemas as plain dicts)."""
         self._ensure_populated()
         return [
-            (entry.name, entry.description, entry.aliases)
+            {
+                "name": entry.name,
+                "description": entry.description,
+                "aliases": list(entry.aliases),
+                "params": [p.as_dict() for p in entry.params],
+            }
             for entry in self._entries.values()
         ]
 

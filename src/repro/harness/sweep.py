@@ -1,0 +1,454 @@
+"""Parallel parameter sweeps over the experiment matrix.
+
+A sweep is a declarative grid — systems x scenarios (with per-scenario
+parameter grids) x topologies x node counts x block counts x seeds —
+expanded into independent *cells*, each one exactly the experiment
+:func:`repro.harness.experiment.run_experiment` would run by hand.
+Cells execute serially or across a multiprocess worker pool; because
+every cell is a self-contained deterministic simulation seeded only by
+its own spec fields, the merged output is **bit-identical regardless of
+worker count or completion order**.  That invariant is what lets the
+golden matrix (``tests/data/golden_matrix_summaries.json``) be checked
+against a parallel run.
+
+Outputs:
+
+- a JSONL results store (one canonical-order line per cell, no
+  wall-clock fields, ``sort_keys`` JSON — so two runs of the same spec
+  produce byte-identical files), and
+- aggregate statistics (mean/median/stddev/confidence interval via
+  :func:`repro.common.stats.aggregate`) grouped over seeds, keyed by
+  canonical registry names.
+
+CLI: ``python -m repro sweep`` (see ``--help``) accepts a JSON spec
+file and/or flag-level grids, ``--workers N``, and writes the JSONL
+store with ``--out``.
+"""
+
+import itertools
+import json
+import multiprocessing
+
+from repro.common import stats
+from repro.harness.experiment import run_experiment
+from repro.harness.registry import SCENARIOS, SYSTEMS
+from repro.sim.topology import (
+    constrained_access_topology,
+    mesh_topology,
+    planetlab_like_topology,
+    star_topology,
+)
+
+__all__ = [
+    "TOPOLOGIES",
+    "SweepCell",
+    "SweepResult",
+    "SweepSpec",
+    "golden_matrix_spec",
+    "run_cell",
+    "run_sweep",
+]
+
+#: Topology families runnable from specs and the CLI.
+TOPOLOGIES = {
+    "mesh": mesh_topology,
+    "constrained": constrained_access_topology,
+    "planetlab": planetlab_like_topology,
+    "star": lambda num_nodes, seed=0: star_topology(num_nodes),
+}
+
+
+def _comparable_value(value):
+    """JSON round-trip a param value so cell keys and JSONL records are
+    identical whether the spec came from a file or from Python."""
+    return json.loads(json.dumps(value))
+
+
+class SweepCell:
+    """One fully-resolved experiment: the atom a sweep executes.
+
+    ``scenario_params`` is a plain dict in sorted-key order; all names
+    are canonical registry names.  Cells are value objects — they
+    round-trip through :meth:`to_dict`/:meth:`from_dict` (how they cross
+    the process boundary to pool workers).
+    """
+
+    __slots__ = (
+        "system",
+        "scenario",
+        "scenario_params",
+        "topology",
+        "nodes",
+        "blocks",
+        "seed",
+        "max_time",
+        "tree_fanout",
+    )
+
+    def __init__(
+        self,
+        system,
+        scenario,
+        scenario_params,
+        topology,
+        nodes,
+        blocks,
+        seed,
+        max_time,
+        tree_fanout=4,
+    ):
+        self.system = system
+        self.scenario = scenario
+        self.scenario_params = {
+            key: _comparable_value(scenario_params[key])
+            for key in sorted(scenario_params)
+        }
+        self.topology = topology
+        self.nodes = nodes
+        self.blocks = blocks
+        self.seed = seed
+        self.max_time = max_time
+        self.tree_fanout = tree_fanout
+
+    def key(self):
+        """Canonical cell identity, e.g.
+        ``bullet_prime|oscillate[period=4.0]|mesh|n8|b24|s1``."""
+        params = ",".join(
+            f"{k}={json.dumps(v)}" for k, v in self.scenario_params.items()
+        )
+        scenario = self.scenario + (f"[{params}]" if params else "")
+        return (
+            f"{self.system}|{scenario}|{self.topology}"
+            f"|n{self.nodes}|b{self.blocks}|s{self.seed}"
+        )
+
+    def group_key(self):
+        """The key minus the seed: cells sharing it aggregate together."""
+        return self.key().rsplit("|", 1)[0]
+
+    def to_dict(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, doc):
+        return cls(**doc)
+
+    def __repr__(self):
+        return f"SweepCell({self.key()!r})"
+
+
+def _as_list(value, what):
+    if isinstance(value, (str, int, float, dict)):
+        return [value]
+    values = list(value)
+    if not values:
+        raise ValueError(f"sweep spec: {what} must not be empty")
+    return values
+
+
+class SweepSpec:
+    """A declarative sweep: grids over every experiment dimension.
+
+    ``scenarios`` entries are either a registry name (defaults for every
+    knob) or a ``{"name": ..., "params": {knob: value-or-list}}`` dict;
+    list-valued knobs expand into a grid.  Knobs are validated and
+    coerced against the :class:`~repro.harness.registry.Param` schemas
+    the scenario declared at registration, so a typo'd or ill-typed knob
+    fails at spec time, not mid-sweep.
+    """
+
+    def __init__(
+        self,
+        systems=("bullet_prime",),
+        scenarios=("none",),
+        topologies=("mesh",),
+        nodes=(8,),
+        blocks=(24,),
+        seeds=(0,),
+        max_time=3600.0,
+        tree_fanout=4,
+    ):
+        self.systems = [SYSTEMS.get(name).name for name in _as_list(systems, "systems")]
+        self.scenarios = [
+            self._normalize_scenario(entry)
+            for entry in _as_list(scenarios, "scenarios")
+        ]
+        self.topologies = list(_as_list(topologies, "topologies"))
+        for topology in self.topologies:
+            if topology not in TOPOLOGIES:
+                raise ValueError(
+                    f"unknown topology {topology!r}; available: "
+                    f"{sorted(TOPOLOGIES)}"
+                )
+        self.nodes = [int(n) for n in _as_list(nodes, "nodes")]
+        self.blocks = [int(b) for b in _as_list(blocks, "blocks")]
+        self.seeds = [int(s) for s in _as_list(seeds, "seeds")]
+        self.max_time = float(max_time)
+        self.tree_fanout = int(tree_fanout)
+        # Specs are immutable after construction, so the expansion (and
+        # its duplicate-cell check) runs once however many times len(),
+        # run_sweep, and the CLI ask for the cells.
+        self._cells = None
+
+    @staticmethod
+    def _normalize_scenario(entry):
+        """Resolve one scenarios-grid entry to ``(canonical name,
+        {knob: [coerced values]})`` — the per-scenario parameter grid."""
+        if isinstance(entry, str):
+            name, params = entry, {}
+        else:
+            doc = dict(entry)
+            name = doc.pop("name", None) or doc.pop("scenario", None)
+            if name is None:
+                raise ValueError(
+                    f"sweep spec: scenario entry needs a 'name': {entry!r}"
+                )
+            params = dict(doc.pop("params", {}))
+            if doc:
+                raise ValueError(
+                    f"sweep spec: unknown scenario entry keys {sorted(doc)}"
+                )
+        registered = SCENARIOS.get(name)
+        grid = {}
+        for knob in sorted(params):
+            param = registered.param(knob)  # raises on undeclared knobs
+            values = _as_list(params[knob], f"scenario param {knob!r}")
+            grid[knob] = [param.coerce(v) for v in values]
+        return registered.name, grid
+
+    @staticmethod
+    def _scenario_points(grid):
+        """Expand a ``{knob: [values]}`` grid into its grid points."""
+        axes = [[(knob, v) for v in values] for knob, values in grid.items()]
+        return [dict(combo) for combo in itertools.product(*axes)]
+
+    @classmethod
+    def from_dict(cls, doc):
+        doc = dict(doc)
+        unknown = set(doc) - {
+            "systems", "scenarios", "topologies", "nodes", "blocks",
+            "seeds", "max_time", "tree_fanout",
+        }
+        if unknown:
+            raise ValueError(f"sweep spec: unknown fields {sorted(unknown)}")
+        return cls(**doc)
+
+    @classmethod
+    def from_file(cls, path):
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def to_dict(self):
+        """Plain-data form of the (normalized) spec."""
+        return {
+            "systems": list(self.systems),
+            "scenarios": [
+                name if not grid else {"name": name, "params": dict(grid)}
+                for name, grid in self.scenarios
+            ],
+            "topologies": list(self.topologies),
+            "nodes": list(self.nodes),
+            "blocks": list(self.blocks),
+            "seeds": list(self.seeds),
+            "max_time": self.max_time,
+            "tree_fanout": self.tree_fanout,
+        }
+
+    def expand(self):
+        """The cell list, in canonical (spec-declaration) order."""
+        if self._cells is not None:
+            return list(self._cells)
+        cells = []
+        for system in self.systems:
+            for scenario_name, grid in self.scenarios:
+                for params in self._scenario_points(grid):
+                    for topology in self.topologies:
+                        for nodes in self.nodes:
+                            for blocks in self.blocks:
+                                for seed in self.seeds:
+                                    cells.append(
+                                        SweepCell(
+                                            system,
+                                            scenario_name,
+                                            params,
+                                            topology,
+                                            nodes,
+                                            blocks,
+                                            seed,
+                                            self.max_time,
+                                            self.tree_fanout,
+                                        )
+                                    )
+        seen = set()
+        for cell in cells:
+            key = cell.key()
+            if key in seen:
+                raise ValueError(
+                    f"sweep spec expands to duplicate cell {key!r} "
+                    f"(two grid entries resolve to the same canonical name?)"
+                )
+            seen.add(key)
+        self._cells = tuple(cells)
+        return cells
+
+    def __len__(self):
+        return len(self.expand())
+
+    def __repr__(self):
+        return f"SweepSpec(cells={len(self)})"
+
+
+def golden_matrix_spec(seeds=(1, 3, 5, 7), nodes=8, blocks=24, max_time=900.0):
+    """The acceptance matrix: every system x every scenario x ``seeds``
+    on the paper's mesh — the 112 cells recorded in
+    ``tests/data/golden_matrix_summaries.json``."""
+    return SweepSpec(
+        systems=SYSTEMS.names(),
+        scenarios=SCENARIOS.names(),
+        topologies=("mesh",),
+        nodes=(nodes,),
+        blocks=(blocks,),
+        seeds=seeds,
+        max_time=max_time,
+    )
+
+
+def run_cell(cell):
+    """Execute one cell; returns its plain-data record.
+
+    The record carries only deterministic content (no wall-clock), so
+    result stores can be compared byte for byte across runs, worker
+    counts, and machines.
+    """
+    if isinstance(cell, dict):
+        cell = SweepCell.from_dict(cell)
+    topology = TOPOLOGIES[cell.topology](cell.nodes, seed=cell.seed)
+    system = SYSTEMS.get(cell.system)
+    scenario = SCENARIOS.build(cell.scenario, **cell.scenario_params)
+    result = run_experiment(
+        topology,
+        system.builder(num_blocks=cell.blocks, seed=cell.seed),
+        cell.blocks,
+        scenario=scenario,
+        max_time=cell.max_time,
+        tree_fanout=cell.tree_fanout,
+        seed=cell.seed,
+    )
+    return {
+        "key": cell.key(),
+        "cell": cell.to_dict(),
+        "summary": result.summary(),
+    }
+
+
+def _run_indexed(payload):
+    index, cell_doc = payload
+    return index, run_cell(cell_doc)
+
+
+def run_sweep(spec, workers=1, progress=None):
+    """Run every cell of ``spec``; returns a :class:`SweepResult`.
+
+    ``workers > 1`` distributes cells over a multiprocess pool with
+    dynamic load balancing (``imap_unordered``, chunksize 1); records
+    are merged back into canonical cell order, so the result — and the
+    JSONL store written from it — is bit-identical to ``workers=1``.
+    ``progress`` (optional) is called as ``progress(done, total, key)``
+    after each cell completes, in completion order.
+    """
+    cells = spec.expand()
+    workers = max(1, int(workers))
+    records = [None] * len(cells)
+    if workers == 1 or len(cells) <= 1:
+        for index, cell in enumerate(cells):
+            records[index] = run_cell(cell)
+            if progress is not None:
+                progress(index + 1, len(cells), records[index]["key"])
+    else:
+        payloads = [(index, cell.to_dict()) for index, cell in enumerate(cells)]
+        with multiprocessing.get_context().Pool(
+            processes=min(workers, len(cells))
+        ) as pool:
+            done = 0
+            for index, record in pool.imap_unordered(
+                _run_indexed, payloads, chunksize=1
+            ):
+                records[index] = record
+                done += 1
+                if progress is not None:
+                    progress(done, len(cells), record["key"])
+    return SweepResult(spec, records)
+
+
+class SweepResult:
+    """Merged sweep output: per-cell records in canonical order."""
+
+    def __init__(self, spec, records):
+        self.spec = spec
+        self.records = list(records)
+
+    def __len__(self):
+        return len(self.records)
+
+    def by_key(self):
+        """``{cell key: summary}`` over every record."""
+        return {record["key"]: record["summary"] for record in self.records}
+
+    def aggregates(self, metrics=("median", "p90", "worst")):
+        """Cross-seed statistics per cell group, in canonical order.
+
+        Returns ``[{"group": ..., "n_seeds": ..., "finished": fraction,
+        "<metric>": aggregate-dict, ...}, ...]`` where each aggregate
+        dict is :func:`repro.common.stats.aggregate` over the per-seed
+        summary values.
+        """
+        groups = {}
+        for record in self.records:
+            group = record["key"].rsplit("|", 1)[0]
+            groups.setdefault(group, []).append(record["summary"])
+        rows = []
+        for group, summaries in groups.items():
+            row = {
+                "group": group,
+                "n_seeds": len(summaries),
+                "finished": sum(s["finished"] for s in summaries)
+                / len(summaries),
+            }
+            for metric in metrics:
+                row[metric] = stats.aggregate(
+                    [s[metric] for s in summaries]
+                )
+            rows.append(row)
+        return rows
+
+    def to_jsonl(self):
+        """The results store: one sorted-keys JSON line per cell."""
+        return "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self.records
+        )
+
+    def write_jsonl(self, path):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_jsonl())
+        return path
+
+    def render_aggregates(self):
+        """Text table of :meth:`aggregates` for the CLI."""
+        rows = self.aggregates()
+        lines = [
+            f"{'group':58s} {'seeds':>5s} {'done':>5s} "
+            f"{'median':>9s} {'ci95':>19s} {'p90':>9s} {'worst':>9s}"
+        ]
+        for row in rows:
+            med = row["median"]
+            ci = f"[{med['ci_low']:8.1f},{med['ci_high']:8.1f}]"
+            lines.append(
+                f"{row['group']:58s} {row['n_seeds']:5d} "
+                f"{row['finished']:5.0%} {med['mean']:9.1f} {ci:>19s} "
+                f"{row['p90']['mean']:9.1f} {row['worst']['mean']:9.1f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"SweepResult(cells={len(self)})"

@@ -88,8 +88,22 @@ __all__ = [
 #
 # Kept last: importing the registry may (re-)enter this package while it
 # is mid-import, and by this point every public name above exists.
+#
+# Every scenario declares its knobs as :class:`Param` schemas, so sweep
+# specs and the CLI can enumerate, validate, and grid over them without
+# importing the scenario classes.
 
-from repro.harness.registry import SCENARIOS  # noqa: E402
+from repro.common.units import KBPS  # noqa: E402
+from repro.harness.registry import SCENARIOS, Param  # noqa: E402
+
+_COMMON_WINDOW = (
+    Param("start", "float", default=None,
+          description="first firing, seconds after installation"),
+    Param("stop", "float", default=None,
+          description="stop after this many seconds (None: run forever)"),
+    Param("seed", "int", default=None,
+          description="override the experiment seed for this scenario's RNG"),
+)
 
 SCENARIOS.register(
     "none",
@@ -102,33 +116,99 @@ SCENARIOS.register(
     CorrelatedDecreases,
     description="paper sec. 4.1: periodic correlated bandwidth cuts",
     aliases=("correlated", "bandwidth_cuts"),
+    params=(
+        Param("period", "float", default=20.0,
+              description="seconds between correlated cut rounds"),
+        Param("victim_fraction", "float", default=0.5,
+              description="fraction of nodes whose inbound links are cut"),
+        Param("source_fraction", "float", default=0.5,
+              description="fraction of senders cut toward each victim"),
+        Param("factor", "float", default=0.5,
+              description="multiplier applied to each cut link, in (0, 1)"),
+        Param("floor", "float", default=32 * KBPS,
+              description="links never degrade below this (bytes/sec)"),
+        *_COMMON_WINDOW,
+    ),
 )
 SCENARIOS.register(
     "cascading_cuts",
     CascadingCuts,
     description="paper Fig. 12: one more sender link throttled per period",
     aliases=("cascade",),
+    params=(
+        Param("period", "float", default=25.0,
+              description="seconds between successive sender throttles"),
+        Param("throttled_bw", "float", default=100 * KBPS,
+              description="capacity each throttled link drops to (bytes/sec)"),
+        Param("start", "float", default=None,
+              description="first throttle, seconds after installation"),
+    ),
 )
 SCENARIOS.register(
     "oscillate",
     Oscillate,
     description="cellular/5G-style high-frequency capacity oscillation",
     aliases=("oscillation", "cellular"),
+    params=(
+        Param("period", "float", default=2.0,
+              description="seconds per full capacity swing"),
+        Param("low", "float", default=0.25,
+              description="trough, as a fraction of installed capacity"),
+        Param("high", "float", default=1.0,
+              description="crest, as a fraction of installed capacity"),
+        Param("wave", "str", default="sine",
+              description="'sine' (smooth) or 'square' (hard switches)"),
+        Param("sample_period", "float", default=None,
+              description="tick interval (default: period / 8)"),
+        Param("phase_jitter", "bool", default=True,
+              description="random per-link phase so links don't sync"),
+        Param("start", "float", default=0.0,
+              description="first firing, seconds after installation"),
+        Param("stop", "float", default=None,
+              description="stop after this many seconds (None: run forever)"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for this scenario's RNG"),
+    ),
 )
 SCENARIOS.register(
     "flash_crowd",
     FlashCrowd,
     description="staggered receiver joins over a ramp interval",
     aliases=("staggered_joins",),
+    params=(
+        Param("ramp", "float", default=30.0,
+              description="receivers join uniformly over this many seconds"),
+        Param("start", "float", default=0.0,
+              description="delay before the first join"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for join times"),
+    ),
 )
 SCENARIOS.register(
     "churn",
     Churn,
     description="nodes lose connectivity and rejoin (network-level churn)",
+    params=(
+        Param("period", "float", default=20.0,
+              description="seconds between churn rounds"),
+        Param("down_time", "float", default=10.0,
+              description="seconds a churned node stays dark"),
+        Param("fraction", "float", default=0.1,
+              description="fraction of receivers churned per round, (0, 1]"),
+        Param("offline_capacity", "float", default=16.0,
+              description="trickle capacity while dark (bytes/sec)"),
+        *_COMMON_WINDOW,
+    ),
 )
 SCENARIOS.register(
     "trace_replay",
     TraceReplay,
     description="drive link capacities from a recorded (time, bw) trace",
     aliases=("trace",),
+    params=(
+        Param("path", "str", default=None,
+              description="trace file to replay (default: built-in demo dip)"),
+        Param("time_scale", "float", default=1.0,
+              description="stretch (>1) or compress (<1) the trace clock"),
+    ),
 )

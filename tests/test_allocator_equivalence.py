@@ -14,9 +14,12 @@ import random
 
 import pytest
 
+from repro.harness.experiment import run_experiment
+from repro.harness.registry import SCENARIOS, SYSTEMS
 from repro.sim.engine import Simulator
 from repro.sim.links import Link
 from repro.sim.tcp import FlowNetwork
+from repro.sim.topology import mesh_topology
 
 
 def _build_world(seed, incremental, num_links=12, num_flows=24):
@@ -104,8 +107,58 @@ def test_incremental_matches_full_on_random_scripts(seed):
             )
             assert a.active == b.active
             assert a.ramp_done == b.ramp_done
-    # Both modes must have run the same coalesced passes.
+    # Both modes must have run the same coalesced passes and driven the
+    # identical simulator event sequence.
     assert net_i.reallocations == net_f.reallocations
+    assert sim_i.events_processed == sim_f.events_processed
+
+
+def _matrix_run(scenario_name, flow_allocator, seed=3):
+    return run_experiment(
+        mesh_topology(8, seed=seed),
+        SYSTEMS.get("bullet_prime").builder(num_blocks=24, seed=seed),
+        24,
+        scenario=SCENARIOS.build(scenario_name),
+        max_time=900.0,
+        seed=seed,
+        flow_allocator=flow_allocator,
+    )
+
+
+@pytest.mark.parametrize("scenario_name", ["none", "churn", "oscillate"])
+def test_summary_perf_counters_deterministic_and_equivalent(scenario_name):
+    """The deterministic ``summary()["perf"]`` counters are part of the
+    equivalence contract.
+
+    Per mode, repeated runs must reproduce every counter bit for bit
+    (they ride in summaries, so any wobble would break golden files).
+    Across modes, the shared-work counters — simulator events processed
+    and coalesced reallocation passes — must be *identical*: both modes
+    execute the same schedule.  The component/flow-allocation counters
+    legitimately differ (smaller in incremental mode — skipping that
+    work is the whole optimization), so for those the contract is
+    incremental <= full, never more work.
+    """
+    perf = {}
+    for mode in ("incremental", "full"):
+        first = _matrix_run(scenario_name, mode).summary()["perf"]
+        second = _matrix_run(scenario_name, mode).summary()["perf"]
+        assert first == second, f"{mode} perf counters must be deterministic"
+        perf[mode] = first
+    inc, full = perf["incremental"], perf["full"]
+    assert set(inc) == set(full) == {
+        "events_processed",
+        "reallocations",
+        "components_allocated",
+        "flows_allocated",
+        "max_component_size",
+        "mean_component_size",
+    }
+    assert inc["events_processed"] == full["events_processed"]
+    assert inc["reallocations"] == full["reallocations"]
+    assert inc["components_allocated"] <= full["components_allocated"]
+    assert inc["flows_allocated"] <= full["flows_allocated"]
+    assert inc["max_component_size"] <= full["max_component_size"]
 
 
 def test_incremental_skips_clean_components():

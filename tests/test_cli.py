@@ -138,6 +138,18 @@ def test_cli_list(capsys):
     for name in ("bullet_prime", "oscillate", "trace_replay", "flash_crowd"):
         assert name in out
     assert "fig4" in out
+    # Every scenario's declared knobs surface in the listing.
+    assert "params:" in out
+    assert "period=2.0" in out  # oscillate
+    assert "down_time=10.0" in out  # churn
+    assert "ramp=30.0" in out  # flash_crowd
+
+
+def test_cli_list_shows_aliases(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "aliases: bulletprime, bullet-prime, bp" in out
+    assert "aliases: oscillation, cellular" in out
 
 
 def test_cli_list_json(capsys):
@@ -149,3 +161,161 @@ def test_cli_list_json(capsys):
     }
     assert "oscillate" in {e["name"] for e in doc["scenarios"]}
     assert "fig5" in doc["figures"]
+    oscillate = next(e for e in doc["scenarios"] if e["name"] == "oscillate")
+    assert {p["name"] for p in oscillate["params"]} >= {
+        "period", "low", "high", "wave"
+    }
+    period = next(p for p in oscillate["params"] if p["name"] == "period")
+    assert period["kind"] == "float" and period["default"] == 2.0
+
+
+SWEEP_FLAGS = [
+    "sweep", "--systems", "bulletprime", "--scenarios", "none,churn",
+    "--nodes", "6", "--blocks", "12", "--seeds", "1,2", "--max-time", "600",
+]
+
+
+def test_cli_sweep_json_and_store(tmp_path, capsys):
+    out_path = tmp_path / "results.jsonl"
+    code = main(SWEEP_FLAGS + ["--workers", "2", "--out", str(out_path), "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["cells"] == 4
+    assert doc["spec"]["systems"] == ["bullet_prime"]  # alias resolved
+    assert {row["group"].split("|")[1] for row in doc["aggregates"]} == {
+        "none", "churn"
+    }
+    for row in doc["aggregates"]:
+        assert row["n_seeds"] == 2
+        assert row["median"]["ci_low"] <= row["median"]["mean"] <= row["median"]["ci_high"]
+    lines = out_path.read_text().splitlines()
+    assert len(lines) == 4
+    assert json.loads(lines[0])["cell"]["system"] == "bullet_prime"
+
+
+def test_cli_sweep_workers_bit_identical(tmp_path, capsys):
+    serial, parallel = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+    assert main(SWEEP_FLAGS + ["--workers", "1", "--out", str(serial)]) == 0
+    assert main(SWEEP_FLAGS + ["--workers", "4", "--out", str(parallel)]) == 0
+    capsys.readouterr()
+    assert serial.read_bytes() == parallel.read_bytes()
+
+
+def test_cli_sweep_seed_ranges(capsys):
+    code = main(
+        ["sweep", "--systems", "bp", "--scenarios", "none", "--nodes", "6",
+         "--blocks", "12", "--seeds", "0:2,5", "--max-time", "600", "--json"]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["spec"]["seeds"] == [0, 1, 5]
+    assert doc["cells"] == 3
+
+
+def test_cli_sweep_spec_file_with_param_grid(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "systems": ["bullet_prime"],
+        "scenarios": [{"name": "oscillate", "params": {"period": [1.0, 4.0]}}],
+        "nodes": [6],
+        "blocks": [12],
+        "seeds": [1],
+        "max_time": 600.0,
+    }))
+    code = main(["sweep", "--spec", str(spec_path), "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["cells"] == 2
+    groups = [row["group"] for row in doc["aggregates"]]
+    assert any("period=1.0" in g for g in groups)
+    assert any("period=4.0" in g for g in groups)
+
+
+def test_cli_sweep_flags_override_spec_file(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "systems": ["bullet_prime", "bittorrent"],
+        "scenarios": ["none"],
+        "nodes": [6], "blocks": [12], "seeds": [1, 2], "max_time": 600.0,
+    }))
+    code = main(["sweep", "--spec", str(spec_path), "--seeds", "3", "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["spec"]["seeds"] == [3]
+    assert doc["cells"] == 2
+
+
+def test_cli_sweep_check_golden(tmp_path, capsys):
+    golden_path = tmp_path / "golden.json"
+    flags = ["sweep", "--systems", "bp", "--scenarios", "none", "--nodes",
+             "6", "--blocks", "12", "--seeds", "1", "--max-time", "600",
+             "--out", str(tmp_path / "r.jsonl")]
+    assert main(flags) == 0
+    record = json.loads((tmp_path / "r.jsonl").read_text().splitlines()[0])
+    summary = {k: v for k, v in record["summary"].items() if k != "perf"}
+    golden_path.write_text(json.dumps({"bullet_prime|none|1": summary}))
+    capsys.readouterr()
+    # Matching goldens pass ...
+    assert main(flags + ["--check-golden", str(golden_path)]) == 0
+    # ... a drifted value fails ...
+    summary["median"] += 1.0
+    golden_path.write_text(json.dumps({"bullet_prime|none|1": summary}))
+    assert main(flags + ["--check-golden", str(golden_path)]) == 1
+    # ... and an uncovered golden cell fails.
+    golden_path.write_text(json.dumps({"bullet_prime|churn|1": {}}))
+    assert main(flags + ["--check-golden", str(golden_path)]) == 1
+    capsys.readouterr()
+
+
+def test_cli_sweep_golden_matrix_rejects_grid_flags(capsys):
+    code = main(["sweep", "--golden-matrix", "--seeds", "0:2"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "--golden-matrix" in err and "--seeds" in err
+
+
+def test_cli_sweep_check_golden_skips_other_scales(tmp_path, capsys):
+    # A golden recorded at 6 nodes must not be compared against (and
+    # spuriously fail) a 10-node run of the same system x scenario x
+    # seed — the run simply doesn't cover it.
+    flags = ["sweep", "--systems", "bp", "--scenarios", "none", "--nodes",
+             "6", "--blocks", "12", "--seeds", "1", "--max-time", "600",
+             "--out", str(tmp_path / "r.jsonl")]
+    assert main(flags) == 0
+    record = json.loads((tmp_path / "r.jsonl").read_text().splitlines()[0])
+    summary = {k: v for k, v in record["summary"].items() if k != "perf"}
+    golden_path = tmp_path / "golden.json"
+    golden_path.write_text(json.dumps({"bullet_prime|none|1": summary}))
+    capsys.readouterr()
+    other_scale = [f if f != "6" else "10" for f in flags]
+    assert main(other_scale + ["--check-golden", str(golden_path)]) == 1
+    err = capsys.readouterr().err
+    assert "0 mismatched" in err
+    assert "did not cover" in err
+
+
+def test_cli_sweep_check_golden_bad_path_fails_before_sweeping(capsys):
+    # A typo'd golden path must fail up front (exit 2, no sweep run),
+    # not crash after minutes of sweeping.
+    code = main(SWEEP_FLAGS + ["--check-golden", "/no/such/golden.json"])
+    assert code == 2
+    captured = capsys.readouterr()
+    assert "error:" in captured.err
+    assert "golden.json" in captured.err
+    assert captured.out == ""  # the sweep never ran
+
+
+def test_cli_sweep_unknown_names_fail_cleanly(capsys):
+    code = main(["sweep", "--systems", "napster"])
+    assert code == 2
+    assert "unknown system" in capsys.readouterr().err
+
+
+def test_cli_sweep_bad_param_fails_cleanly(tmp_path, capsys):
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps({
+        "scenarios": [{"name": "churn", "params": {"wobble": 1}}],
+    }))
+    code = main(["sweep", "--spec", str(spec_path)])
+    assert code == 2
+    assert "wobble" in capsys.readouterr().err

@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.harness.registry import Registry, SCENARIOS, SYSTEMS, WORKLOADS
+from repro.harness.registry import (
+    Param,
+    Registry,
+    SCENARIOS,
+    SYSTEMS,
+    WORKLOADS,
+)
 from repro.harness.systems import SYSTEM_FACTORIES
 from repro.scenarios import Scenario
 
@@ -37,13 +43,34 @@ class TestRegistryMechanics:
 
     def test_duplicate_name_rejected(self):
         reg = self._reg()
-        with pytest.raises(ValueError, match="duplicate"):
+        with pytest.raises(ValueError, match="duplicate thing name 'gamma'"):
             reg.register("gamma", lambda: None)
+        # The original entry is untouched — nothing was overwritten.
+        assert reg.build("gamma") == 2
 
     def test_colliding_alias_rejected(self):
         reg = self._reg()
         with pytest.raises(ValueError, match="collides"):
             reg.register("other", lambda: None, aliases=("ab",))
+
+    def test_alias_colliding_with_name_rejected(self):
+        reg = self._reg()
+        # Collision is checked on the *normalized* form, so an alias
+        # that only differs in case/underscores still collides.
+        with pytest.raises(ValueError, match="collides"):
+            reg.register("other", lambda: None, aliases=("Alpha-Beta",))
+
+    def test_failed_registration_is_all_or_nothing(self):
+        reg = self._reg()
+        with pytest.raises(ValueError, match="collides"):
+            reg.register("newthing", lambda: None, aliases=("fresh", "ab"))
+        # Neither the name nor the non-colliding alias leaked in.
+        assert "newthing" not in reg
+        assert "fresh" not in reg
+        assert reg.names() == ["alpha_beta", "gamma"]
+        # And the name can be registered cleanly afterwards.
+        reg.register("newthing", lambda: "ok", aliases=("fresh",))
+        assert reg.build("fresh") == "ok"
 
     def test_contains_and_iteration(self):
         reg = self._reg()
@@ -95,6 +122,87 @@ class TestScenariosRegistry:
         assert SCENARIOS.get("static").name == "none"
         assert SCENARIOS.get("cellular").name == "oscillate"
         assert SCENARIOS.get("trace").name == "trace_replay"
+
+
+class TestParams:
+    def test_kinds_validated(self):
+        with pytest.raises(ValueError, match="kind"):
+            Param("period", "duration")
+
+    def test_coerce_by_kind(self):
+        assert Param("p", "float").coerce("2.5") == 2.5
+        assert Param("n", "int").coerce("4") == 4
+        assert Param("s", "str").coerce(7) == "7"
+        assert Param("b", "bool").coerce("true") is True
+        assert Param("b", "bool").coerce(False) is False
+        assert Param("p", "float").coerce(None) is None
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(ValueError, match="expects float"):
+            Param("p", "float").coerce("fast")
+        with pytest.raises(ValueError, match="expects a bool"):
+            Param("b", "bool").coerce("yes")
+
+    def test_duplicate_param_names_rejected(self):
+        reg = Registry("thing")
+        with pytest.raises(ValueError, match="twice"):
+            reg.register(
+                "x",
+                lambda: None,
+                params=(Param("p", "float"), Param("p", "int")),
+            )
+
+    def test_entry_param_lookup_and_coercion(self):
+        reg = Registry("thing")
+        entry = reg.register(
+            "x", lambda: None, params=(Param("p", "float", default=1.0),)
+        )
+        assert entry.param("p").default == 1.0
+        assert entry.coerce_params({"p": "3"}) == {"p": 3.0}
+        with pytest.raises(KeyError, match="no param 'q'"):
+            entry.param("q")
+
+    def test_scenario_catalogue_declares_its_knobs(self):
+        assert {p.name for p in SCENARIOS.get("churn").params} >= {
+            "period", "down_time", "fraction", "offline_capacity",
+        }
+        assert {p.name for p in SCENARIOS.get("oscillate").params} >= {
+            "period", "low", "high", "wave",
+        }
+        assert {p.name for p in SCENARIOS.get("flash_crowd").params} >= {
+            "ramp", "start",
+        }
+        # Declared defaults match the constructors' actual defaults.
+        churn = SCENARIOS.build("churn")
+        for param in SCENARIOS.get("churn").params:
+            assert getattr(churn, param.name) == param.default, param.name
+
+
+class TestLiveRegistriesAreHardened:
+    """Registering a duplicate name or alias into the real registries
+    must raise a clear error — never silently overwrite."""
+
+    @pytest.mark.parametrize(
+        "registry,name",
+        [(SYSTEMS, "bullet_prime"), (SCENARIOS, "churn"),
+         (WORKLOADS, "software_update")],
+        ids=["systems", "scenarios", "workloads"],
+    )
+    def test_duplicate_name_raises(self, registry, name):
+        before = registry.get(name)
+        with pytest.raises(ValueError, match=f"duplicate .* {name!r}"):
+            registry.register(name, lambda: None)
+        assert registry.get(name) is before
+
+    @pytest.mark.parametrize(
+        "registry,alias",
+        [(SYSTEMS, "bp"), (SCENARIOS, "cellular"), (WORKLOADS, "file")],
+        ids=["systems", "scenarios", "workloads"],
+    )
+    def test_colliding_alias_raises(self, registry, alias):
+        with pytest.raises(ValueError, match="collides"):
+            registry.register("shiny_new_thing", lambda: None, aliases=(alias,))
+        assert "shiny_new_thing" not in registry
 
 
 class TestWorkloadsRegistry:

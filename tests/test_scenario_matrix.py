@@ -1,10 +1,12 @@
-"""The scenario-diversity matrix: every baseline under every scenario.
+"""The scenario-diversity matrix, driven by the sweep engine.
 
-These are the acceptance tests for the registry-driven pipeline: any
-system registered in ``SYSTEMS`` must run under any scenario registered
-in ``SCENARIOS`` (built with defaults), and the whole pipeline must be
-deterministic — the same seed and scenario name produce bit-identical
-summaries.
+These are the acceptance tests for the sweep subsystem: the full
+system x scenario x seed matrix runs through
+:func:`repro.harness.sweep.run_sweep`, the merged output is
+bit-identical no matter how many workers executed it, and every cell
+reproduces the recorded golden summaries — which were themselves
+recorded serially, so a parallel golden pass *is* the
+parallel-equals-serial keystone at full matrix scale.
 """
 
 import json
@@ -14,15 +16,18 @@ import pytest
 
 from repro.harness.experiment import run_experiment
 from repro.harness.registry import SCENARIOS, SYSTEMS
+from repro.harness.sweep import SweepSpec, golden_matrix_spec, run_sweep
 from repro.sim.topology import mesh_topology
 
 N = 8
 NB = 24
 MAX_TIME = 900.0
+MATRIX_SEEDS = (1, 3, 5, 7)
 
-#: Summaries recorded from the pre-incremental (global-reallocation)
-#: allocator for every (system, scenario, seed) cell of this matrix —
-#: the golden baseline the new allocator must reproduce bit-for-bit.
+#: Summaries recorded for every (system, scenario, seed) cell of the
+#: matrix — seeds 1 and 3 from the pre-incremental (global-reallocation)
+#: allocator, seeds 5 and 7 from the serial sweep engine.  The current
+#: code must reproduce all of them bit for bit, from any worker count.
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_matrix_summaries.json"
 
 
@@ -47,17 +52,61 @@ def _comparable(summary):
     return summary
 
 
-@pytest.mark.parametrize("scenario_name", SCENARIOS.names())
-@pytest.mark.parametrize("system_name", SYSTEMS.names())
-def test_every_system_runs_under_every_scenario(system_name, scenario_name):
-    result = _run(system_name, scenario_name)
-    summary = result.summary()
-    # The run must produce a full, well-formed summary; under the static
-    # control case everyone must also actually finish.
-    assert summary["nodes"] >= 1
-    assert summary["median"] > 0.0
-    if scenario_name == "none":
-        assert result.finished, f"{system_name} must finish under 'none'"
+def test_matrix_matches_recorded_golden_summaries():
+    """All 112 golden cells reproduce bit for bit — via a *parallel*
+    sweep, proving worker count cannot perturb a single cell."""
+    golden = json.loads(GOLDEN_PATH.read_text())
+    spec = golden_matrix_spec(
+        seeds=MATRIX_SEEDS, nodes=N, blocks=NB, max_time=MAX_TIME
+    )
+    assert len(golden) == len(spec.expand()) == 112
+    result = run_sweep(spec, workers=2)
+    seen = set()
+    for record in result.records:
+        cell = record["cell"]
+        key = f"{cell['system']}|{cell['scenario']}|{cell['seed']}"
+        seen.add(key)
+        got = _comparable(record["summary"])
+        assert got == golden[key], f"summary drifted from golden for {key}"
+        # Coverage riding along: a full, well-formed summary per cell,
+        # and everyone finishes under the static control case.
+        assert got["nodes"] >= 1
+        assert got["median"] > 0.0
+        if cell["scenario"] == "none":
+            assert got["finished"], f"{cell['system']} must finish under 'none'"
+    assert seen == set(golden)
+
+
+def test_parallel_sweep_bit_identical_to_serial():
+    """The keystone invariant at JSONL level: identical bytes out of the
+    results store regardless of worker count or completion order —
+    including the deterministic perf counters the golden file omits."""
+    spec = SweepSpec(
+        systems=("bullet_prime", "bittorrent"),
+        scenarios=SCENARIOS.names(),
+        nodes=(N,),
+        blocks=(NB,),
+        seeds=(1,),
+        max_time=MAX_TIME,
+    )
+    serial = run_sweep(spec, workers=1)
+    parallel = run_sweep(spec, workers=3)
+    assert serial.to_jsonl() == parallel.to_jsonl()
+    assert serial.aggregates() == parallel.aggregates()
+
+
+def test_sweep_cell_matches_direct_run_experiment():
+    """A sweep cell is exactly the experiment one would run by hand."""
+    spec = SweepSpec(
+        systems=("bullet_prime",),
+        scenarios=("churn",),
+        nodes=(N,),
+        blocks=(NB,),
+        seeds=(3,),
+        max_time=MAX_TIME,
+    )
+    record = run_sweep(spec, workers=1).records[0]
+    assert record["summary"] == _run("bullet_prime", "churn", seed=3).summary()
 
 
 @pytest.mark.parametrize("scenario_name", SCENARIOS.names())
@@ -71,9 +120,9 @@ def test_summary_bit_identical_across_runs(scenario_name):
 
 @pytest.mark.parametrize("scenario_name", SCENARIOS.names())
 def test_incremental_allocator_bit_identical_to_full(scenario_name):
-    """The tentpole invariant: component-scoped incremental allocation
-    produces exactly the results of recomputing every component, across
-    the whole scenario catalogue."""
+    """Component-scoped incremental allocation produces exactly the
+    results of recomputing every component, across the whole scenario
+    catalogue."""
     incremental = _run(
         "bullet_prime", scenario_name, seed=3, flow_allocator="incremental"
     )
@@ -83,19 +132,6 @@ def test_incremental_allocator_bit_identical_to_full(scenario_name):
     assert (
         incremental.flows.flows_allocated <= full.flows.flows_allocated
     )
-
-
-def test_matrix_matches_recorded_golden_summaries():
-    """Every (system, scenario, seed) cell reproduces the summaries
-    recorded from the pre-incremental global allocator, bit for bit."""
-    golden = json.loads(GOLDEN_PATH.read_text())
-    assert len(golden) == len(SYSTEMS.names()) * len(SCENARIOS.names()) * 2
-    for key, expected in golden.items():
-        system_name, scenario_name, seed = key.split("|")
-        got = _comparable(
-            _run(system_name, scenario_name, seed=int(seed)).summary()
-        )
-        assert got == expected, f"summary drifted from golden for {key}"
 
 
 def test_scenario_resolves_by_name_in_run_experiment():

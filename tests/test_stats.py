@@ -5,7 +5,86 @@ import math
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.common.stats import Cdf, OnlineStats, mean_stddev
+from repro.common.stats import (
+    Cdf,
+    OnlineStats,
+    aggregate,
+    confidence_interval,
+    mean_stddev,
+)
+
+
+class TestConfidenceInterval:
+    def test_single_sample_collapses(self):
+        assert confidence_interval([4.0]) == (4.0, 4.0)
+
+    def test_known_t_interval(self):
+        # n=4, mean=5, sample stddev=2 -> half width 3.182 * 2 / 2.
+        low, high = confidence_interval([3.0, 4.0, 6.0, 7.0])
+        half = 3.182 * math.sqrt(10.0 / 3.0 / 4.0)
+        assert low == pytest.approx(5.0 - half)
+        assert high == pytest.approx(5.0 + half)
+
+    def test_wider_confidence_is_wider(self):
+        values = [1.0, 2.0, 4.0, 8.0, 9.0]
+        for lo, hi in zip(
+            (0.90, 0.95), (0.95, 0.99)
+        ):
+            llo, lhi = confidence_interval(values, confidence=lo)
+            hlo, hhi = confidence_interval(values, confidence=hi)
+            assert hlo < llo and lhi < hhi
+
+    def test_large_samples_use_normal_quantile(self):
+        values = [float(v % 7) for v in range(40)]
+        low, high = confidence_interval(values)
+        mean = sum(values) / len(values)
+        assert low < mean < high
+
+    def test_fallback_past_table_tracks_student_t(self):
+        # df > 30 uses a Cornish-Fisher correction, not the bare normal
+        # quantile: at n=32 the implied critical value must be ~t(31)
+        # = 2.040 (z = 1.960 would under-cover by ~4%).
+        values = [0.0, 10.0] * 16  # n=32, sample stddev independent of t
+        low, high = confidence_interval(values)
+        mean = sum(values) / len(values)
+        s = math.sqrt(sum((v - mean) ** 2 for v in values) / 31)
+        implied_t = (high - mean) / (s / math.sqrt(32))
+        assert 2.03 < implied_t < 2.05
+        # And the implied critical value shrinks monotonically with df.
+        wider = confidence_interval(values[:30])
+        assert (wider[1] - wider[0]) > (high - low)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError, match="at least one"):
+            confidence_interval([])
+        with pytest.raises(ValueError, match="confidence"):
+            confidence_interval([1.0, 2.0], confidence=0.5)
+
+    @given(st.lists(st.floats(0.0, 1e6), min_size=2, max_size=30))
+    def test_interval_brackets_the_mean(self, values):
+        low, high = confidence_interval(values)
+        mean = sum(values) / len(values)
+        assert low <= mean <= high
+
+
+class TestAggregate:
+    def test_fields_and_values(self):
+        row = aggregate([4.0, 2.0, 6.0])
+        assert row["n"] == 3
+        assert row["mean"] == 4.0
+        assert row["median"] == 4.0
+        assert row["min"] == 2.0 and row["max"] == 6.0
+        assert row["ci_low"] <= row["mean"] <= row["ci_high"]
+
+    def test_order_insensitive_bit_identical(self):
+        # Sweep cells complete in arbitrary order; aggregates must not
+        # depend on it, down to the last float bit.
+        values = [0.1, 0.7, 0.30000000000000004, 12.5, 3.3]
+        assert aggregate(values) == aggregate(list(reversed(values)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            aggregate([])
 
 
 class TestMeanStddev:

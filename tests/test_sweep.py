@@ -1,0 +1,197 @@
+"""Unit tests for the sweep engine: spec expansion, validation,
+parameter grids, execution, and the JSONL/aggregate outputs."""
+
+import json
+
+import pytest
+
+from repro.common import stats
+from repro.harness.sweep import (
+    SweepCell,
+    SweepSpec,
+    golden_matrix_spec,
+    run_cell,
+    run_sweep,
+)
+
+TINY = dict(nodes=(6,), blocks=(12,), seeds=(1,), max_time=600.0)
+
+
+class TestSpecExpansion:
+    def test_grid_is_the_cartesian_product(self):
+        spec = SweepSpec(
+            systems=("bullet_prime", "bittorrent"),
+            scenarios=("none", "churn"),
+            topologies=("mesh", "star"),
+            nodes=(6, 8),
+            blocks=(12,),
+            seeds=(0, 1, 2),
+        )
+        cells = spec.expand()
+        assert len(cells) == 2 * 2 * 2 * 2 * 1 * 3
+        assert len({c.key() for c in cells}) == len(cells)
+
+    def test_expansion_order_is_deterministic(self):
+        spec = SweepSpec(systems=("bullet_prime",), scenarios=("none", "churn"),
+                         seeds=(2, 1))
+        keys = [c.key() for c in spec.expand()]
+        assert keys == [c.key() for c in spec.expand()]
+        # Declaration order is preserved (seeds are not sorted).
+        assert keys[0].endswith("|s2")
+
+    def test_aliases_canonicalized(self):
+        spec = SweepSpec(systems=("bp",), scenarios=("cellular",), **TINY)
+        cell = spec.expand()[0]
+        assert cell.system == "bullet_prime"
+        assert cell.scenario == "oscillate"
+
+    def test_scenario_param_grid_expands(self):
+        spec = SweepSpec(
+            scenarios=(
+                {"name": "oscillate",
+                 "params": {"period": [1.0, 2.0, 4.0], "wave": "square"}},
+            ),
+            **TINY,
+        )
+        cells = spec.expand()
+        assert len(cells) == 3
+        assert [c.scenario_params["period"] for c in cells] == [1.0, 2.0, 4.0]
+        assert all(c.scenario_params["wave"] == "square" for c in cells)
+        assert 'period=1.0' in cells[0].key()
+
+    def test_params_coerced_against_schema(self):
+        spec = SweepSpec(
+            scenarios=({"name": "churn", "params": {"period": "5"}},), **TINY
+        )
+        assert spec.expand()[0].scenario_params["period"] == 5.0
+
+    def test_undeclared_knob_rejected(self):
+        with pytest.raises(KeyError, match="no param 'wobble'"):
+            SweepSpec(scenarios=({"name": "churn", "params": {"wobble": 1}},))
+
+    def test_ill_typed_knob_rejected(self):
+        with pytest.raises(ValueError, match="expects float"):
+            SweepSpec(scenarios=({"name": "churn", "params": {"period": "fast"}},))
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError, match="unknown system"):
+            SweepSpec(systems=("napster",))
+        with pytest.raises(KeyError, match="unknown scenario"):
+            SweepSpec(scenarios=("meteor_strike",))
+        with pytest.raises(ValueError, match="unknown topology"):
+            SweepSpec(topologies=("torus",))
+
+    def test_duplicate_cells_rejected(self):
+        # 'none' and 'static' resolve to the same canonical scenario.
+        spec = SweepSpec(scenarios=("none", "static"))
+        with pytest.raises(ValueError, match="duplicate cell"):
+            spec.expand()
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            SweepSpec(seeds=())
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            SweepSpec.from_dict({"systems": ["bullet_prime"], "speed": 11})
+
+    def test_spec_roundtrips_through_dict_and_file(self, tmp_path):
+        spec = SweepSpec(
+            systems=("bullet_prime",),
+            scenarios=("none", {"name": "oscillate", "params": {"period": [1.0, 2.0]}}),
+            seeds=(1, 2),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        again = SweepSpec.from_file(path)
+        assert [c.key() for c in again.expand()] == [c.key() for c in spec.expand()]
+
+    def test_golden_matrix_spec_shape(self):
+        cells = golden_matrix_spec().expand()
+        assert len(cells) == 112
+        assert all(c.topology == "mesh" and c.nodes == 8 for c in cells)
+        assert {c.seed for c in cells} == {1, 3, 5, 7}
+
+
+class TestCells:
+    def test_cell_key_is_stable_and_param_sorted(self):
+        cell = SweepCell(
+            "bullet_prime", "oscillate", {"wave": "square", "period": 4.0},
+            "mesh", 8, 24, 3, 900.0,
+        )
+        assert cell.key() == (
+            'bullet_prime|oscillate[period=4.0,wave="square"]|mesh|n8|b24|s3'
+        )
+        assert cell.group_key() == cell.key().rsplit("|", 1)[0]
+
+    def test_cell_roundtrips_through_dict(self):
+        cell = SweepCell(
+            "bittorrent", "churn", {"period": 5.0}, "star", 6, 12, 2, 600.0
+        )
+        assert SweepCell.from_dict(cell.to_dict()).key() == cell.key()
+
+    def test_run_cell_accepts_dict_payloads(self):
+        spec = SweepSpec(systems=("bullet_prime",), scenarios=("none",), **TINY)
+        cell = spec.expand()[0]
+        assert run_cell(cell.to_dict()) == run_cell(cell)
+
+
+class TestExecutionAndOutputs:
+    @pytest.fixture(scope="class")
+    def result(self):
+        spec = SweepSpec(
+            systems=("bullet_prime",),
+            scenarios=("none", {"name": "oscillate", "params": {"period": [1.0]}}),
+            nodes=(6,),
+            blocks=(12,),
+            seeds=(1, 2),
+            max_time=600.0,
+        )
+        return run_sweep(spec, workers=2)
+
+    def test_records_in_canonical_order(self, result):
+        keys = [r["key"] for r in result.records]
+        assert keys == [c.key() for c in result.spec.expand()]
+
+    def test_jsonl_is_deterministic_and_parseable(self, result):
+        lines = result.to_jsonl().splitlines()
+        assert len(lines) == 4
+        docs = [json.loads(line) for line in lines]
+        assert [d["key"] for d in docs] == [r["key"] for r in result.records]
+        # No wall-clock anywhere: the store must be byte-reproducible.
+        assert "wall" not in result.to_jsonl()
+
+    def test_write_jsonl(self, result, tmp_path):
+        path = tmp_path / "results.jsonl"
+        result.write_jsonl(path)
+        assert path.read_text() == result.to_jsonl()
+
+    def test_by_key(self, result):
+        by_key = result.by_key()
+        assert len(by_key) == 4
+        assert all("median" in summary for summary in by_key.values())
+
+    def test_aggregates_group_across_seeds(self, result):
+        rows = result.aggregates()
+        assert [row["n_seeds"] for row in rows] == [2, 2]
+        for row in rows:
+            group = row["group"]
+            members = [
+                r["summary"]["median"]
+                for r in result.records
+                if r["key"].rsplit("|", 1)[0] == group
+            ]
+            assert row["median"] == stats.aggregate(members)
+            assert 0.0 <= row["finished"] <= 1.0
+
+    def test_render_aggregates_mentions_groups(self, result):
+        text = result.render_aggregates()
+        assert "bullet_prime|none|mesh|n6|b12" in text
+        assert "ci95" in text
+
+    def test_progress_callback_sees_every_cell(self):
+        spec = SweepSpec(systems=("bullet_prime",), scenarios=("none",),
+                         nodes=(6,), blocks=(12,), seeds=(1, 2), max_time=600.0)
+        seen = []
+        run_sweep(spec, workers=1, progress=lambda done, total, key: seen.append((done, total, key)))
+        assert [s[:2] for s in seen] == [(1, 2), (2, 2)]
