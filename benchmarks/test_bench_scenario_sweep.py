@@ -11,8 +11,17 @@ scenario class stresses the adaptive machinery.  Claims to preserve:
   engine's keystone invariant, checked here at benchmark scale.
 - At acceptance scale (``REPRO_BENCH_NODES=50``) on a >= 4-core
   machine, 4 workers give a >= 2x wall-clock speedup over serial.
+
+When ``REPRO_BENCH_LEDGER`` names a path, the benchmark also emits the
+machine-readable perf ledger there (the committed ``BENCH_sweep.json``
+is one recorded entry): wall times, events/second, and the summed
+deterministic perf counters — simulator event core (timer pool,
+same-instant batching) plus the allocator (passes, components, fill
+rounds).  CI writes and uploads it on every PR so the perf trajectory
+is comparable PR-over-PR.
 """
 
+import json
 import os
 import time
 
@@ -57,6 +66,49 @@ def test_bench_scenario_sweep(benchmark, bench_scale):
         for record in serial.records
     }
     speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+
+    # Perf ledger: one JSON document per benchmark run, summing the
+    # deterministic counters over all cells so engine/allocator work is
+    # comparable PR-over-PR even as wall times move between machines.
+    perf_totals = {}
+    for record in serial.records:
+        for key, value in record["summary"]["perf"].items():
+            if key in ("mean_component_size", "max_component_size"):
+                continue  # per-cell ratios/maxima do not sum
+            perf_totals[key] = perf_totals.get(key, 0) + value
+    components = perf_totals.get("components_allocated", 0)
+    if components:
+        perf_totals["mean_component_size"] = round(
+            perf_totals.get("flows_allocated", 0) / components, 3
+        )
+    events = perf_totals.get("events_processed", 0)
+    ledger = {
+        "benchmark": "scenario_sweep",
+        "nodes": num_nodes,
+        "blocks": num_blocks,
+        "scenarios": sorted(name for name, _grid in spec.scenarios),
+        "seeds": list(spec.seeds),
+        "cells": len(serial.records),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds_4w": round(parallel_seconds, 3),
+        "parallel_speedup": round(speedup, 2),
+        "events_per_second_serial": (
+            round(events / serial_seconds, 1) if serial_seconds else 0.0
+        ),
+        "perf_totals": {
+            key: round(value, 3) for key, value in sorted(perf_totals.items())
+        },
+    }
+    # Written only on request: the committed BENCH_sweep.json is a
+    # recorded ledger entry, and an unconditional default path would let
+    # every plain pytest run clobber it at whatever scale happened to be
+    # configured.  CI sets REPRO_BENCH_LEDGER explicitly.
+    ledger_path = os.environ.get("REPRO_BENCH_LEDGER")
+    if ledger_path:
+        with open(ledger_path, "w", encoding="utf-8") as fh:
+            json.dump(ledger, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+
     print()
     print(f"{'scenario':22s} {'median':>8s} {'p90':>8s} {'worst':>8s} done")
     for name, summary in sorted(results.items()):

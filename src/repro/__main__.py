@@ -227,9 +227,14 @@ def _run_command(argv):
             for key in (
                 "events_processed",
                 "events_per_second",
+                "timers_allocated",
+                "timers_recycled",
+                "same_time_batched",
+                "heap_compactions",
                 "reallocations",
                 "components_allocated",
                 "flows_allocated",
+                "fill_rounds",
                 "max_component_size",
                 "mean_component_size",
                 "wall_seconds",

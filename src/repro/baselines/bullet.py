@@ -130,8 +130,16 @@ class BulletNode(OverlayProtocol):
         self.ransub.child_conns[child] = conn
         self._tree_children_conns.append(conn)
         if self.is_source:
-            conn.on_sent = lambda c, _m: self._generate()
+            # Event-driven generation: wake only when this child's block
+            # queue drops below the push window (the sole moment the old
+            # per-message on_sent poll could make progress).
+            conn.watch_send_queue_low(
+                self.config.push_window, self._child_has_room
+            )
             self._generate()
+
+    def _child_has_room(self, _conn):
+        self._generate()
 
     # -- lossy tree push ----------------------------------------------------------
 

@@ -167,7 +167,12 @@ class SplitStreamNode(OverlayProtocol):
         stripe = message.payload["stripe"]
         self.stripe_children.setdefault(stripe, []).append(conn)
         self._stripe_backlog.setdefault(stripe, [])
-        conn.on_sent = lambda c, _m, s=stripe: self._drain_one(s)
+        # Blocking multicast is resumed by the channel's low-watermark
+        # event — the instant this child's queue drops below the push
+        # window — instead of a drain attempt per transmitted message.
+        conn.watch_send_queue_low(
+            self.config.push_window, lambda c, s=stripe: self._drain_one(s)
+        )
 
     # -- source stream ------------------------------------------------------------
 
@@ -285,6 +290,14 @@ class SplitStreamNode(OverlayProtocol):
         for stripe, conns in self.stripe_children.items():
             if conn in conns:
                 conns.remove(conn)
+                # The departed child may have been the one back-pressuring
+                # this stripe; the survivors can all be *below* the push
+                # window (no crossing ever fires their low-watermark
+                # callback), so the stall must be re-evaluated here or the
+                # stripe deadlocks for the rest of the run.
+                self._drain_stripe(stripe)
+                if self.is_source:
+                    self._generate()
 
     def __repr__(self):
         return (

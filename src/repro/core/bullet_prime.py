@@ -109,6 +109,7 @@ class _SenderState:
         "bytes_mark",
         "epoch_bw",
         "idle_epochs",
+        "limit",
     )
 
     def __init__(self, conn, peer, controller):
@@ -123,6 +124,10 @@ class _SenderState:
         #: Consecutive epochs this sender delivered nothing and had
         #: nothing useful on offer (dead-weight detection).
         self.idle_epochs = 0
+        #: Cached ``controller.limit``; refreshed only when the
+        #: controller reports a change, so the per-block pump reads an
+        #: attribute instead of re-deriving the ceiling.
+        self.limit = controller.limit
 
 
 class _ReceiverState:
@@ -136,6 +141,7 @@ class _ReceiverState:
         "reported_incoming_bw",
         "bytes_mark",
         "epoch_bw",
+        "pipe_idle",
     )
 
     def __init__(self, conn, peer):
@@ -148,6 +154,11 @@ class _ReceiverState:
         self.reported_incoming_bw = 0.0
         self.bytes_mark = 0
         self.epoch_bw = 0.0
+        #: Mirrors ``conn.send_queue_blocks == 0``, maintained by the
+        #: channel's low-watermark event plus the one site that enqueues
+        #: blocks — the self-clocked diff check per ingested block is a
+        #: flag read instead of a queue poll.
+        self.pipe_idle = True
 
 
 class BulletPrimeNode(OverlayProtocol):
@@ -477,7 +488,13 @@ class BulletPrimeNode(OverlayProtocol):
         receiver = _ReceiverState(conn, peer)
         receiver.tracker.observe_receiver_has(message.payload["have"])
         self.receivers[conn] = receiver
+        conn.watch_send_queue_low(1, self._receiver_pipe_drained)
         self._send_diff(receiver)
+
+    def _receiver_pipe_drained(self, conn):
+        receiver = self.receivers.get(conn)
+        if receiver is not None:
+            receiver.pipe_idle = True
 
     def on_bp_request(self, conn, message):
         receiver = self.receivers.get(conn)
@@ -489,6 +506,7 @@ class BulletPrimeNode(OverlayProtocol):
         if block not in self.state:
             return  # stale availability (cannot happen with honest diffs)
         self.stats["blocks_served"] += 1
+        receiver.pipe_idle = False
         conn.send(
             Message(
                 "bp_block",
@@ -506,10 +524,13 @@ class BulletPrimeNode(OverlayProtocol):
         self._send_diff(receiver)
 
     def _send_diff(self, receiver):
-        fresh = receiver.tracker.next_diff(
-            self.arrival_order[receiver.cursor :]
-        )
-        receiver.cursor = len(self.arrival_order)
+        order = self.arrival_order
+        if receiver.cursor >= len(order):
+            # Cursor already at the tip: no new arrivals, so no slice,
+            # no told-set pass — nothing to report.
+            return
+        fresh = receiver.tracker.next_diff(order[receiver.cursor :])
+        receiver.cursor = len(order)
         if not fresh:
             # Nothing new to report: keep any explicit ask pending so the
             # next ingested block answers it immediately.
@@ -587,6 +608,7 @@ class BulletPrimeNode(OverlayProtocol):
                     marked=marked,
                 )
                 if changed:
+                    sender.limit = sender.controller.limit
                     # Observe the effect before adjusting again: mark an
                     # in-flight block if one exists (a decrease makes no
                     # new request), otherwise mark the next request.
@@ -611,10 +633,14 @@ class BulletPrimeNode(OverlayProtocol):
             self.trace.block_received(self.node_id, block)
         # Self-clocked diffs: receivers with an idle request pipeline (or
         # an explicit ask outstanding) hear about new availability now.
-        for receiver in list(self.receivers.values()):
+        # ``pipe_idle`` is pushed by the channel's low-watermark event,
+        # so this per-block pass is flag reads, not queue polls — and
+        # nothing in _send_diff mutates the receiver table, so the dict
+        # is iterated directly (no per-block copy).
+        for receiver in self.receivers.values():
             if receiver.conn.closed:
                 continue
-            if receiver.conn.send_queue_blocks == 0 or receiver.tracker.pending_request:
+            if receiver.pipe_idle or receiver.tracker.pending_request:
                 self._send_diff(receiver)
         if self.state.complete and self.completed_at is None:
             self.completed_at = self.sim.now
@@ -629,14 +655,26 @@ class BulletPrimeNode(OverlayProtocol):
         self._pending_senders.clear()
 
     def _useful(self, block):
-        return self.state.wants(block) and block not in self.requested
+        # Runs for every candidate of every request decision; the
+        # DownloadState.wants() call is inlined (same int-bit-vector
+        # access download.py itself uses) so the innermost predicate is
+        # one attribute walk and one shift.
+        state = self.state
+        if state._complete:
+            return False
+        if state.encoded:
+            return block not in state._held and block not in self.requested
+        return (
+            not (block >= 0 and (state._bitmap._bits >> block) & 1)
+            and block not in self.requested
+        )
 
     def _pump_sender(self, conn):
         sender = self.senders.get(conn)
         if sender is None or conn.closed or self.state.complete:
             return
         limit = (
-            sender.controller.limit
+            sender.limit
             if self.config.adaptive_outstanding
             else self.config.fixed_outstanding
         )
@@ -663,8 +701,9 @@ class BulletPrimeNode(OverlayProtocol):
         # Prefetch availability: ask for a diff when we are *about to*
         # run out of known-useful blocks from this sender (paper
         # section 3.3.4), hiding the diff round trip instead of idling
-        # the pipe when the candidate list empties.
-        if self.avail.candidate_count(conn, self._useful) <= limit:
+        # the pipe when the candidate list empties.  The early-exit form
+        # stops scanning once it is clear no diff is needed yet.
+        if self.avail.prefetch_needed(conn, limit, self._useful):
             self._maybe_request_diff(sender)
 
     def _maybe_request_diff(self, sender):

@@ -20,6 +20,9 @@ senders) and lets each strategy pick in amortized O(candidates).
 
 __all__ = ["AvailabilityView", "REQUEST_STRATEGIES"]
 
+#: Sentinel rarity greater than any real advertising-sender count.
+_NO_RARITY = float("inf")
+
 
 class _SenderAvailability:
     """Blocks one sender is known to have, in discovery order."""
@@ -77,12 +80,17 @@ class AvailabilityView:
     def learn(self, sender_key, blocks):
         """Record a diff: ``sender_key`` now also has ``blocks``."""
         availability = self._senders[sender_key]
+        known = availability.known
+        known_add = known.add
+        order_append = availability.order.append
+        rarity = self.rarity
+        rarity_get = rarity.get
         for block in blocks:
-            if block in availability.known:
+            if block in known:
                 continue
-            availability.known.add(block)
-            availability.order.append(block)
-            self.rarity[block] = self.rarity.get(block, 0) + 1
+            known_add(block)
+            order_append(block)
+            rarity[block] = rarity_get(block, 0) + 1
 
     def known_of(self, sender_key):
         return self._senders[sender_key].known
@@ -96,6 +104,32 @@ class AvailabilityView:
         availability = self._senders[sender_key]
         availability.order = [b for b in availability.order if useful(b)]
         return len(availability.order)
+
+    def prefetch_needed(self, sender_key, limit, useful):
+        """True when at most ``limit`` useful candidates remain.
+
+        The per-block diff-prefetch check used to pay a full
+        ``candidate_count`` scan after every request round; this is the
+        early-exit form — the scan stops as soon as ``limit + 1`` useful
+        candidates are seen, which on a healthy sender is the first few
+        entries.  Only the exact rarest scans take the early exit: their
+        selection never depends on how many *stale* entries the candidate
+        list carries, so skipping the compaction is invisible.  The
+        ``random`` / ``first`` strategies and sampled rarest draw on the
+        raw list (length or sample), so they keep the exact
+        compact-and-count semantics.
+        """
+        if self.strategy not in ("rarest", "rarest_random") or (
+            self.rarity_sample is not None
+        ):
+            return self.candidate_count(sender_key, useful) <= limit
+        seen = 0
+        for block in self._senders[sender_key].order:
+            if useful(block):
+                seen += 1
+                if seen > limit:
+                    return False
+        return True
 
     # -- selection ----------------------------------------------------------------
 
@@ -141,7 +175,6 @@ class AvailabilityView:
         # Compact stale entries in place while scanning for the minimum
         # rarity; optionally examine only a bounded random sample.
         valid = []
-        best_rarity = None
         scan = order
         if self.rarity_sample is not None and len(order) > self.rarity_sample:
             scan = self.rng.sample(order, self.rarity_sample)
@@ -149,18 +182,22 @@ class AvailabilityView:
             # Keep unscanned entries; they stay candidates for next time.
             valid = [b for b in order if b not in scan_set and useful(b)]
         rarity_of = self.rarity.get
+        valid_append = valid.append
+        # Sentinel above any real census count: the first useful block
+        # always takes the < branch, so no per-iteration None check.
+        best_rarity = _NO_RARITY
         ties = []
         for block in scan:
             if not useful(block):
                 continue
-            valid.append(block)
+            valid_append(block)
             rarity = rarity_of(block, 0)
-            if best_rarity is None or rarity < best_rarity:
+            if rarity < best_rarity:
                 best_rarity = rarity
                 ties = [block]
             elif rarity == best_rarity:
                 ties.append(block)
-        if best_rarity is None:
+        if best_rarity is _NO_RARITY:
             order.clear()
             return None
         if scan is not order:

@@ -49,16 +49,19 @@ class SourcePusher:
         self.blocks_pushed = 0
 
     def add_child(self, conn):
-        """Register a tree-child connection and start feeding it."""
+        """Register a tree-child connection and start feeding it.
+
+        Feeding is event-driven: rather than re-running :meth:`pump` on
+        every transmitted message (most of which are control traffic that
+        cannot open push room), the channel's low-watermark callback
+        wakes the pusher exactly when a child's block queue drops below
+        the push window — the only moment a poll could make progress.
+        """
         self.children.append(conn)
-        previous = conn.on_sent
+        conn.watch_send_queue_low(self.window, self._child_has_room)
+        self.pump()
 
-        def chained(c, message):
-            if previous is not None:
-                previous(c, message)
-            self.pump()
-
-        conn.on_sent = chained
+    def _child_has_room(self, _conn):
         self.pump()
 
     def remove_child(self, conn):

@@ -7,6 +7,8 @@ limit).  The runner wires them to a fresh simulator and returns an
 :class:`ExperimentResult` with the completion-time CDF and raw traces.
 """
 
+import gc
+
 from repro.common.rng import split_rng
 from repro.overlay.tree import build_random_tree
 from repro.scenarios.base import Scenario, ScenarioContext
@@ -54,11 +56,13 @@ class ExperimentResult:
         )
 
     def perf_stats(self):
-        """Deterministic work counters for this run (simulator events
-        processed plus the allocator's pass/component statistics) —
-        wall-clock time deliberately excluded so summaries stay
-        bit-identical across machines and runs."""
-        stats = {"events_processed": self.sim.events_processed}
+        """Deterministic work counters for this run (the simulator's
+        event-core counters — events processed, timer-pool hit/miss,
+        same-instant batching, heap compactions — plus the allocator's
+        pass/component statistics) — wall-clock time deliberately
+        excluded so summaries stay bit-identical across machines and
+        runs."""
+        stats = dict(self.sim.perf_stats())
         if self.flows is not None:
             stats.update(self.flows.perf_stats())
         return stats
@@ -160,15 +164,26 @@ def run_experiment(
             node.start()
 
     failed = set()
+
+    def kill(node_id):
+        failed.add(node_id)
+        nodes[node_id].stop()
+
+    # Same-instant failures share one heap entry via schedule_batch;
+    # within a batch the kills run in schedule order, exactly as the
+    # individually scheduled timers would have.
+    kills_by_time = {}
     for fail_time, node_id in failure_schedule:
         if node_id == source_id:
             raise ValueError("the source cannot be failed (it is the data)")
-
-        def kill(node_id=node_id):
-            failed.add(node_id)
-            nodes[node_id].stop()
-
-        sim.schedule_at(fail_time, kill)
+        kills_by_time.setdefault(fail_time, []).append(node_id)
+    for fail_time, node_ids in kills_by_time.items():
+        if len(node_ids) == 1:
+            sim.schedule_at(fail_time, kill, node_ids[0])
+        else:
+            sim.schedule_batch(
+                fail_time - sim.now, [(kill, node_id) for node_id in node_ids]
+            )
 
     receivers = [n for n in topology.nodes if n != source_id]
 
@@ -182,7 +197,19 @@ def run_experiment(
         return True
 
     sim.schedule_periodic(check_period, check_done)
-    sim.run(until=max_time)
+    # The event core recycles its hot objects (timers via the pool,
+    # messages by refcount), so cyclic garbage accrues only from slow
+    # structures like connection pairs.  Suspending the collector for
+    # the run avoids generational scans over millions of live tuples;
+    # lifetimes, and therefore results, are unaffected.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        sim.run(until=max_time)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     finished = all(r in trace.completion_times for r in survivors())
     result = ExperimentResult(trace, nodes, sim, finished, flows=flows)
     result.source_id = source_id

@@ -38,12 +38,17 @@ class OverlayProtocol:
             return
         fn = self._handlers.get(message.kind)
         if fn is None:
+            # Resolve the on_<kind> method once and memoize it: dispatch
+            # runs per delivered message, and the f-string + getattr per
+            # call showed up in profiles.  Explicit handler() calls still
+            # win because they write the same dict.
             fn = getattr(self, f"on_{message.kind}", None)
-        if fn is None:
-            raise KeyError(
-                f"{type(self).__name__} node {self.node_id}: "
-                f"no handler for message kind {message.kind!r}"
-            )
+            if fn is None:
+                raise KeyError(
+                    f"{type(self).__name__} node {self.node_id}: "
+                    f"no handler for message kind {message.kind!r}"
+                )
+            self._handlers[message.kind] = fn
         fn(conn, message)
 
     def _accepted(self, conn):

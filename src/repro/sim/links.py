@@ -40,7 +40,6 @@ class Link:
         "_alloc_epoch",
         "_alloc_remaining",
         "_alloc_unfrozen",
-        "_alloc_share",
     )
 
     def __init__(self, name, capacity, delay=0.0, loss_rate=0.0):
@@ -56,9 +55,15 @@ class Link:
         self._capacity = capacity
         self.delay = delay
         self.loss_rate = loss_rate
-        #: Active flows currently routed over this link (managed by
-        #: :class:`repro.sim.tcp.FlowNetwork`).
-        self.flows = set()
+        #: Active flows currently routed over this link, kept sorted by
+        #: creation sequence (managed by :class:`repro.sim.tcp.FlowNetwork`
+        #: via bisect insertion).  A sorted list instead of a set: the
+        #: allocator's freeze sweep consumes flows in seq order on every
+        #: bottleneck round, so maintaining the order at the (much rarer)
+        #: activation/deactivation sites deletes a sort from the hottest
+        #: allocator loop; flow counts per link are small, so the O(n)
+        #: insert/remove is a short C-level memmove.
+        self.flows = []
         #: Optional callback invoked as ``on_capacity_change(link)`` when
         #: capacity is mutated; the flow network hooks this to trigger a
         #: rate reallocation.
@@ -69,7 +74,6 @@ class Link:
         self._alloc_epoch = -1
         self._alloc_remaining = 0.0
         self._alloc_unfrozen = 0
-        self._alloc_share = -1.0
 
     @property
     def capacity(self):

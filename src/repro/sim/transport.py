@@ -74,6 +74,17 @@ class Channel:
     — block counts and byte totals — are maintained as running counters,
     so ``queued_block_count`` / ``queued_bytes`` / ``send_queue_blocks``
     are O(1) instead of per-call scans.
+
+    Instead of making every protocol poll those counters per block, the
+    channel pushes the one transition protocols actually act on: when the
+    number of queued blocks drops below ``block_low_watermark`` the
+    channel invokes ``on_block_low(connection)`` — the event-driven
+    low-watermark path push senders (the source pusher, Bullet's lossy
+    tree push, SplitStream's blocking multicast) and Bullet's self-
+    clocked diff trigger ride on.  The callback fires at exactly the
+    simulated instant the old per-message polling would first have
+    observed the queue below the watermark, so switching a protocol from
+    polling to the callback leaves its event timeline bit-identical.
     """
 
     __slots__ = (
@@ -92,6 +103,10 @@ class Channel:
         "_event",
         "bytes_sent",
         "closed",
+        "_loss",
+        "_rng",
+        "block_low_watermark",
+        "on_block_low",
     )
 
     def __init__(self, network, connection, flow, prop_delay):
@@ -112,6 +127,14 @@ class Channel:
         self._event = None
         self.bytes_sent = 0
         self.closed = False
+        #: Path loss and the shared rng, cached off the hot delivery path
+        #: (both are fixed for the channel's lifetime).
+        self._loss = flow.loss
+        self._rng = network.rng
+        #: When set, ``on_block_low(connection)`` fires the instant
+        #: ``queued_blocks`` drops from the watermark to one below it.
+        self.block_low_watermark = None
+        self.on_block_low = None
         flow.on_rate_change = self._rate_changed
 
     # -- queue state queries used by protocols -------------------------------
@@ -169,10 +192,18 @@ class Channel:
             wait = now - message._enqueued_at
             if wait > 0 and message.wasted >= 0:
                 message.wasted = wait
-        self.head_remaining = float(message.size + MESSAGE_HEADER_BYTES)
+        remaining = float(message.size + MESSAGE_HEADER_BYTES)
+        self.head_remaining = remaining
         self.last_advance = now
         self.network.flows.activate(self.flow)
-        self._reschedule()
+        # On both call paths (first enqueue after idle, next message
+        # after a completion) no transmission event is pending, so this
+        # is a bare schedule — no cancel, no _reschedule round-trip.
+        rate = self.flow.rate
+        if rate > 0:
+            self._event = self.sim.schedule(
+                remaining / rate, self._head_transmitted
+            )
 
     def _advance_progress(self, rate=None):
         now = self.sim.now
@@ -185,33 +216,47 @@ class Channel:
         self.last_advance = now
 
     def _rate_changed(self, _flow, old_rate):
-        self._advance_progress(rate=old_rate)
-        self._reschedule()
-
-    def _reschedule(self):
-        if self._event is not None:
-            self._event.cancel()
+        # The transport's busiest callback (every allocation pass hits
+        # every rescheduled flow): progress-credit at the old rate and
+        # the transmission reschedule, one merged body, no sub-calls.
+        now = self.sim.now
+        queue = self.queue
+        if queue and old_rate > 0:
+            remaining = self.head_remaining - old_rate * (now - self.last_advance)
+            self.head_remaining = remaining if remaining > 0 else 0.0
+        self.last_advance = now
+        event = self._event
+        if event is not None:
+            event.cancel()
             self._event = None
-        if not self.queue:
-            return
-        if self.flow.rate <= 0:
-            return  # wait for the next reallocation to assign a rate
-        delay = self.head_remaining / self.flow.rate
-        self._event = self.sim.schedule(delay, self._head_transmitted)
+        if queue:
+            rate = self.flow.rate
+            if rate > 0:
+                self._event = self.sim.schedule(
+                    self.head_remaining / rate, self._head_transmitted
+                )
 
     def _head_transmitted(self):
         self._event = None
-        self._advance_progress()
-        if not self.queue:
+        # _advance_progress inlined (runs once per transmitted message).
+        now = self.sim.now
+        queue = self.queue
+        if queue:
+            rate = self.flow.rate
+            if rate > 0:
+                remaining = self.head_remaining - rate * (now - self.last_advance)
+                self.head_remaining = remaining if remaining > 0 else 0.0
+        self.last_advance = now
+        if not queue:
             return
-        message = self.queue.popleft()
+        message = queue.popleft()
         wire_size = message.size + MESSAGE_HEADER_BYTES
         self.bytes_sent += wire_size
         self._queued_wire_bytes -= wire_size
         if message.is_block:
             self.queued_blocks -= 1
         self._deliver_later(message)
-        if self.queue:
+        if queue:
             self._start_head()
         else:
             self.network.flows.deactivate(self.flow)
@@ -219,14 +264,21 @@ class Channel:
         conn = self.connection
         if conn.on_sent is not None and not conn.closed:
             conn.on_sent(conn, message)
+        if (
+            self.on_block_low is not None
+            and message.is_block
+            and self.queued_blocks == self.block_low_watermark - 1
+            and not conn.closed
+        ):
+            self.on_block_low(conn)
 
     def _deliver_later(self, message):
         delay = self.prop_delay
-        if not message.is_block and self.flow.loss > 0:
+        if self._loss > 0 and not message.is_block:
             # Control messages on lossy paths occasionally wait out a
             # retransmission timeout; blocks already pay for loss through
             # the Mathis rate cap.
-            if self.network.rng.random() < self.flow.loss:
+            if self._rng.random() < self._loss:
                 delay += self.flow.rto
         # Bound-method + args scheduling: no per-message closure on the
         # busiest path in the simulator.
@@ -243,6 +295,7 @@ class Channel:
             self._queued_wire_bytes = 0
             self.network.flows.deactivate(self.flow)
         self.flow.on_rate_change = None
+        self.on_block_low = None
 
 
 class Connection:
@@ -313,6 +366,21 @@ class Connection:
     def send_queue_blocks(self):
         """Blocks queued on the outbound channel (including in transit)."""
         return self._out_channel.queued_blocks
+
+    def watch_send_queue_low(self, watermark, callback):
+        """Event-driven replacement for per-block send-queue polling.
+
+        ``callback(conn)`` fires the instant the outbound block count
+        drops from ``watermark`` to ``watermark - 1`` — i.e. the first
+        moment a poll of ``send_queue_blocks < watermark`` would start
+        returning True after the pipe was full.  Pass ``callback=None``
+        to stop watching.
+        """
+        if watermark is not None and watermark < 1:
+            raise ValueError(f"watermark must be >= 1, got {watermark}")
+        channel = self._out_channel
+        channel.block_low_watermark = watermark
+        channel.on_block_low = callback
 
     @property
     def send_rate(self):

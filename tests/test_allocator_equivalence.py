@@ -148,9 +148,14 @@ def test_summary_perf_counters_deterministic_and_equivalent(scenario_name):
     inc, full = perf["incremental"], perf["full"]
     assert set(inc) == set(full) == {
         "events_processed",
+        "timers_allocated",
+        "timers_recycled",
+        "same_time_batched",
+        "heap_compactions",
         "reallocations",
         "components_allocated",
         "flows_allocated",
+        "fill_rounds",
         "max_component_size",
         "mean_component_size",
     }
@@ -158,7 +163,11 @@ def test_summary_perf_counters_deterministic_and_equivalent(scenario_name):
     assert inc["reallocations"] == full["reallocations"]
     assert inc["components_allocated"] <= full["components_allocated"]
     assert inc["flows_allocated"] <= full["flows_allocated"]
+    assert inc["fill_rounds"] <= full["fill_rounds"]
     assert inc["max_component_size"] <= full["max_component_size"]
+    # The event core pools timers: after warm-up nearly every event is
+    # served from the free list, and both modes drive the same schedule.
+    assert inc["timers_recycled"] > inc["timers_allocated"]
 
 
 def test_incremental_skips_clean_components():

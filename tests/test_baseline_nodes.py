@@ -128,6 +128,32 @@ class TestSplitStreamBlocking:
         # ~20 KB/s * 30 s / 16 KB ~ 37 blocks vs hundreds on stripe 1.
         assert fast_s1 > 4 * fast_s0
 
+    def test_stripe_recovers_when_backpressuring_child_dies(self):
+        # A stripe stalled on one slow child must resume when that child
+        # leaves: the survivors can all be *below* the push window (their
+        # low-watermark callback never fires again), so the stall has to
+        # be re-evaluated at connection close or the stripe deadlocks.
+        sim = Simulator()
+        topo = mesh_topology(4, seed=1, max_loss=0.0)
+        topo.core[(0, 2)].capacity = 20_000.0  # node 2 is the slow child
+        net = Network(sim, topo, FlowNetwork(sim))
+        trace = TraceCollector(sim, 64)
+        config = SplitStreamConfig(num_blocks=64, num_stripes=1, seed=1)
+        forest = {0: {0: [1, 2]}}
+        nodes = {
+            n: SplitStreamNode(net, n, forest, 0, config, trace)
+            for n in topo.nodes
+        }
+        for node in nodes.values():
+            node.start()
+        sim.schedule_at(15.0, nodes[2].stop)
+        sim.run(until=16.0)
+        held_at_kill = len(nodes[1].state)
+        sim.run(until=40.0)
+        # Freed from the slow sibling, the fast child must make real
+        # progress again instead of sitting on a wedged backlog.
+        assert len(nodes[1].state) > held_at_kill + 10
+
     def test_interior_nodes_forward(self):
         sim = Simulator()
         topo = mesh_topology(6, seed=2, max_loss=0.0)

@@ -64,9 +64,14 @@ def test_cli_run_text_output(capsys):
 PROFILE_KEYS = {
     "events_processed",
     "events_per_second",
+    "timers_allocated",
+    "timers_recycled",
+    "same_time_batched",
+    "heap_compactions",
     "reallocations",
     "components_allocated",
     "flows_allocated",
+    "fill_rounds",
     "max_component_size",
     "mean_component_size",
     "wall_seconds",
@@ -84,6 +89,11 @@ def test_cli_run_profile_json(capsys):
     assert doc["profile"]["events_processed"] > 0
     assert doc["profile"]["reallocations"] > 0
     assert doc["profile"]["max_component_size"] >= 1
+    # The event core pools timers; every armed event is either a fresh
+    # allocation or a pool hit, so the two counters bound the schedule
+    # volume and recycling must be doing real work on any non-trivial run.
+    assert doc["profile"]["timers_allocated"] > 0
+    assert doc["profile"]["timers_recycled"] > 0
     # The deterministic counters also ride in the summary.
     assert doc["summary"]["perf"]["events_processed"] == (
         doc["profile"]["events_processed"]

@@ -263,6 +263,253 @@ class TestHeapCompaction:
         assert len(fired) == 100
 
 
+class TestTimerPooling:
+    """The zero-allocation event core: retired timers are recycled, but
+    never while any caller still holds the handle."""
+
+    def test_fired_timer_recycled_when_unreferenced(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None)  # handles discarded
+        sim.run()
+        assert sim.pool_size > 0
+        allocated_before = sim.timers_allocated
+        sim.schedule(1.0, lambda: None)
+        assert sim.timers_allocated == allocated_before  # pool hit
+        assert sim.timers_recycled >= 1
+
+    def test_held_handle_never_observes_recycled_event(self):
+        sim = Simulator()
+        fired = []
+        held = sim.schedule(1.0, lambda: fired.append("held"))
+        sim.run()
+        assert fired == ["held"]
+        # The held timer must not be in the pool: a later schedule must
+        # arm a *different* object.
+        later = sim.schedule(1.0, lambda: fired.append("later"))
+        assert later is not held
+        # Late-cancelling the stale handle is a no-op for the new event.
+        held.cancel()
+        sim.run()
+        assert fired == ["held", "later"]
+
+    def test_cancelled_and_discarded_timer_rejoins_pool(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()  # handle discarded
+        sim.run()
+        assert sim.pool_size >= 1
+
+    def test_held_cancelled_timer_not_recycled(self):
+        sim = Simulator()
+        held = sim.schedule(1.0, lambda: None)
+        held.cancel()
+        sim.run()
+        replacement = sim.schedule(1.0, lambda: None)
+        assert replacement is not held
+
+    def test_pool_survives_heavy_reschedule_loop(self):
+        # The transport's cancel/reschedule pattern must reach a steady
+        # state where (almost) no fresh Timer objects are constructed.
+        sim = Simulator()
+        live = [None]
+
+        def hop():
+            if live[0] is not None:
+                live[0].cancel()
+            live[0] = sim.schedule(2.0, lambda: None)
+            return sim.now < 50.0
+
+        sim.schedule_periodic(0.5, hop)
+        sim.run(until=100.0)
+        assert sim.timers_recycled > sim.timers_allocated
+
+
+class TestScheduleAtUntil:
+    def test_event_at_exactly_until_runs(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("at"))
+        sim.schedule(2.0000001, lambda: fired.append("after"))
+        sim.run(until=2.0)
+        assert fired == ["at"]
+        assert sim.now == 2.0
+
+    def test_schedule_at_now_outside_run_executes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.schedule_at(sim.now, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+
+
+class TestSameInstantDrain:
+    """Zero-delay events issued while running take the drain queue, in
+    exactly the (time, sequence) order the heap would have produced."""
+
+    def test_zero_delay_runs_at_same_timestamp_in_fifo_order(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append(("first", sim.now))
+            sim.schedule(0.0, lambda: order.append(("zero-a", sim.now)))
+            sim.schedule(0.0, lambda: order.append(("zero-b", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.schedule(1.0, lambda: order.append(("peer", sim.now)))
+        sim.run()
+        # The heap-resident peer event (smaller sequence) runs before
+        # the drain-queue entries created at the same instant.
+        assert order == [
+            ("first", 1.0),
+            ("peer", 1.0),
+            ("zero-a", 1.0),
+            ("zero-b", 1.0),
+        ]
+        assert sim.same_time_batched == 2
+
+    def test_absorbed_tiny_delay_keeps_schedule_order(self):
+        # A nonzero delay swallowed by float addition (now + d == now)
+        # must take the drain path too: routing it through the heap
+        # would give it heap priority over *earlier* zero-delay events
+        # at the same instant, inverting (time, sequence) order.
+        sim = Simulator()
+        order = []
+
+        def outer():
+            sim.schedule(0.0, lambda: order.append("zero"))
+            tiny = 1e-13
+            assert sim.now + tiny == sim.now  # absorbed at this scale
+            sim.schedule(tiny, lambda: order.append("tiny"))
+
+        sim.schedule(4096.0, outer)
+        sim.run()
+        assert order == ["zero", "tiny"]
+
+    def test_drain_queue_timer_cancellable(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            keep = sim.schedule(0.0, lambda: fired.append("keep"))
+            drop = sim.schedule(0.0, lambda: fired.append("drop"))
+            drop.cancel()
+            assert keep is not None
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["keep"]
+
+    def test_stop_inside_drain_halts_remaining_entries(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            sim.schedule(0.0, lambda: (fired.append("a"), sim.stop()))
+            sim.schedule(0.0, lambda: fired.append("b"))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == ["a"]
+        # The unprocessed drain entry survives for the next run.
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["a", "b"]
+
+
+class TestScheduleBatch:
+    def test_batch_runs_in_list_order_at_one_instant(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_batch(
+            2.0,
+            [
+                (seen.append, "a"),
+                (seen.append, "b"),
+                (lambda: seen.append(sim.now),),
+            ],
+        )
+        sim.run()
+        assert seen == ["a", "b", 2.0]
+        # One heap entry, three executed callbacks.
+        assert sim.events_processed == 3
+
+    def test_batch_cancel_cancels_all(self):
+        sim = Simulator()
+        seen = []
+        timer = sim.schedule_batch(1.0, [(seen.append, 1), (seen.append, 2)])
+        timer.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_stop_from_inside_batch_halts_remainder(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_batch(
+            1.0,
+            [(seen.append, 1), (sim.stop,), (seen.append, 2)],
+        )
+        sim.schedule(5.0, lambda: seen.append("late"))
+        sim.run()
+        assert seen == [1]
+
+    def test_batch_rejects_non_callable(self):
+        sim = Simulator()
+        with pytest.raises(TypeError):
+            sim.schedule_batch(1.0, [("not-callable",)])
+
+
+class TestCancelledCountExact:
+    """``_cancelled_count`` equals the number of cancelled entries in
+    the heap at all times — including when cancels land between a
+    compaction and the pop of surviving entries, the drift scenario the
+    old clamped decrement could mask."""
+
+    @staticmethod
+    def _true_count(sim):
+        return sum(1 for e in sim._heap if e[2].cancelled)
+
+    def test_count_exact_with_compaction_during_run_until(self):
+        sim = Simulator()
+        mismatches = []
+        live = []
+
+        def probe():
+            if sim._cancelled_count != self._true_count(sim):
+                mismatches.append(
+                    (sim.now, sim._cancelled_count, self._true_count(sim))
+                )
+
+        def churn():
+            # Keep the heap above the compaction floor, then cancel in
+            # bursts so compaction triggers *while running*; fresh
+            # cancels keep landing after each compaction and before the
+            # surviving entries pop.
+            for _ in range(40):
+                live.append(sim.schedule(5.0, lambda: None))
+            while len(live) > 60:
+                live.pop(0).cancel()
+            probe()
+            return sim.now < 30.0
+
+        sim.schedule_periodic(1.0, churn)
+        for upto in (7.0, 13.0, 50.0):
+            sim.run(until=upto)
+            probe()
+        assert sim.heap_compactions > 0, "scenario must exercise compaction"
+        assert mismatches == []
+
+    def test_cancel_after_fire_does_not_count(self):
+        sim = Simulator()
+        timers = [sim.schedule(1.0, lambda: None) for _ in range(100)]
+        sim.run()
+        for timer in timers:
+            timer.cancel()
+        assert sim._cancelled_count == 0
+
+
 def test_reentrant_run_rejected():
     sim = Simulator()
 

@@ -11,12 +11,18 @@ class _FakeConn:
         self.closed = False
         self.on_sent = None
         self.queue_limit = None  # None = unbounded appetite
+        self._watermark = None
+        self._on_low = None
 
     @property
     def send_queue_blocks(self):
         if self.queue_limit is None:
             return 0
         return self._queued
+
+    def watch_send_queue_low(self, watermark, callback):
+        self._watermark = watermark
+        self._on_low = callback
 
     def send(self, message):
         self.sent.append(message.payload["block"])
@@ -25,7 +31,16 @@ class _FakeConn:
         return True
 
     def drain(self, count=1):
-        self._queued = max(0, self._queued - count)
+        for _ in range(count):
+            before = self._queued
+            self._queued = max(0, self._queued - 1)
+            if (
+                self._on_low is not None
+                and self._watermark is not None
+                and before == self._watermark
+                and self._queued == self._watermark - 1
+            ):
+                self._on_low(self)
         if self.on_sent is not None:
             self.on_sent(self, None)
 
