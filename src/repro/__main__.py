@@ -29,6 +29,11 @@ Discovery — enumerate everything registered::
     python -m repro list
     python -m repro list --json
 
+Perf gate — deterministic counter regression check for CI::
+
+    python -m repro perf-gate --ledger BENCH_sweep_smoke.json \\
+        --baseline tests/data/perf_counters_baseline.json
+
 Figure output is the text rendering of the figure's data; ``run``
 prints a completion-time summary (or the same as JSON with ``--json``);
 ``sweep`` prints cross-seed aggregates and writes the per-cell JSONL
@@ -235,6 +240,7 @@ def _run_command(argv):
                 "components_allocated",
                 "flows_allocated",
                 "fill_rounds",
+                "path_refreshes",
                 "max_component_size",
                 "mean_component_size",
                 "wall_seconds",
@@ -264,7 +270,7 @@ def _parse_sweep_args(argv):
         "--golden-matrix",
         action="store_true",
         help="use the built-in acceptance matrix: every system x every "
-        "scenario x seeds 1,3,5,7 on the 8-node mesh (112 cells)",
+        "scenario x seeds 1,3,5,7 on the 8-node mesh (160 cells)",
     )
     parser.add_argument(
         "--systems", default=None, help="comma-separated system names/aliases"
@@ -310,6 +316,12 @@ def _parse_sweep_args(argv):
         "--json",
         action="store_true",
         help="emit the spec + aggregates as JSON on stdout",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the per-cell progress lines on stderr "
+        "(CI-friendly: no need to redirect stderr)",
     )
     parser.add_argument(
         "--check-golden",
@@ -457,7 +469,11 @@ def _sweep_command(argv):
         print(f"[{done}/{total}] {key}", file=sys.stderr)
 
     started = time.time()
-    result = run_sweep(spec, workers=args.workers, progress=progress)
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        progress=None if args.quiet else progress,
+    )
     elapsed = time.time() - started
     if args.out is not None:
         result.write_jsonl(args.out)
@@ -485,6 +501,73 @@ def _sweep_command(argv):
         )
     if golden is not None:
         return _check_golden(result, golden)
+    return 0
+
+
+def _parse_perf_gate_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro perf-gate",
+        description=(
+            "Deterministic perf-counter regression gate: compare a "
+            "benchmark ledger's noise-free work counters "
+            "(events_processed, reallocations, fill_rounds, "
+            "timers_recycled) against a committed baseline and fail on "
+            "any drift.  Update the baseline in the same PR to accept "
+            "an intentional change."
+        ),
+    )
+    parser.add_argument(
+        "--ledger",
+        required=True,
+        metavar="PATH",
+        help="benchmark ledger JSON (BENCH_sweep.json; see "
+        "REPRO_BENCH_LEDGER in benchmarks/test_bench_scenario_sweep.py)",
+    )
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        metavar="PATH",
+        help="committed baseline JSON "
+        "(tests/data/perf_counters_baseline.json)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="record the ledger's counters as the new baseline instead "
+        "of checking",
+    )
+    return parser.parse_args(argv)
+
+
+def _perf_gate_command(argv):
+    from repro.harness import perf_gate
+
+    args = _parse_perf_gate_args(argv)
+    try:
+        ledger = perf_gate.load_json(args.ledger)
+        if args.update:
+            perf_gate.update_baseline(ledger, args.baseline)
+            print(f"recorded perf-counter baseline to {args.baseline}")
+            return 0
+        baseline = perf_gate.load_json(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = perf_gate.check_ledger(ledger, baseline)
+    if problems:
+        print("perf-counter gate FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        print(
+            "(intentional? re-record with: python -m repro perf-gate "
+            f"--ledger {args.ledger} --baseline {args.baseline} --update)",
+            file=sys.stderr,
+        )
+        return 1
+    counters = ", ".join(
+        f"{name}={value}" for name, value in sorted(baseline["counters"].items())
+    )
+    print(f"perf-counter gate ok: {counters}")
     return 0
 
 
@@ -537,6 +620,8 @@ def main(argv=None):
         return _sweep_command(argv[1:])
     if argv and argv[0] == "list":
         return _list_command(argv[1:])
+    if argv and argv[0] == "perf-gate":
+        return _perf_gate_command(argv[1:])
     return _figures_command(argv)
 
 

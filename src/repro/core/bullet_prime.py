@@ -17,8 +17,7 @@ the strategy modules of this package:
   (:class:`~repro.core.diffs.DiffTracker`).
 """
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.rng import split_rng
 from repro.common.units import KiB

@@ -1,0 +1,108 @@
+"""Deterministic perf-counter regression gate.
+
+The scenario-sweep benchmark emits a machine-readable ledger
+(``BENCH_sweep.json``) whose ``perf_totals`` sum the simulator's and
+allocator's *deterministic* work counters over every cell.  Wall time is
+noisy; these counters are not — for a fixed scale and seed they are a
+pure function of the code, bit-identical across machines, Python
+versions, and worker counts.  That makes them a regression gate CI can
+enforce without any statistical tolerance: if ``events_processed`` or
+``fill_rounds`` drifts, the change altered how much work the hot paths
+do, and the PR must either justify it by updating the committed
+baseline (``tests/data/perf_counters_baseline.json``) or fix it.
+
+``python -m repro perf-gate --ledger BENCH.json --baseline base.json``
+compares the two and exits nonzero on drift; ``--update`` records the
+ledger's counters as the new baseline instead.
+"""
+
+import json
+
+__all__ = ["GATE_COUNTERS", "check_ledger", "load_json", "update_baseline"]
+
+#: The gated counters: noise-free measures of event-core and allocator
+#: work.  Intentionally a subset of ``perf_totals`` — counters that sum
+#: float ratios or depend on pool warm-up heuristics stay advisory.
+GATE_COUNTERS = (
+    "events_processed",
+    "reallocations",
+    "fill_rounds",
+    "timers_recycled",
+)
+
+#: Ledger fields that pin the scale the counters were measured at; a
+#: baseline recorded at one scale must never gate a run at another.
+SCALE_FIELDS = ("benchmark", "nodes", "blocks", "cells", "scenarios", "seeds")
+
+
+def load_json(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def baseline_from_ledger(ledger, counters=GATE_COUNTERS):
+    """The baseline document recording ``ledger``'s gated counters."""
+    missing_scale = [f for f in SCALE_FIELDS if f not in ledger]
+    if missing_scale:
+        raise ValueError(f"ledger missing scale fields: {missing_scale}")
+    missing = [c for c in counters if c not in ledger.get("perf_totals", {})]
+    if missing:
+        raise ValueError(f"ledger perf_totals missing counters: {missing}")
+    return {
+        "scale": {field: ledger[field] for field in SCALE_FIELDS},
+        "counters": {c: ledger["perf_totals"][c] for c in counters},
+    }
+
+
+def check_ledger(ledger, baseline):
+    """Compare a ledger against a recorded baseline.
+
+    Returns a list of human-readable drift messages — empty when the
+    gate passes.  Scale mismatches are reported as drift too: a gate
+    silently comparing different experiment sizes would always fail (or
+    worse, always pass).
+    """
+    problems = []
+    scale = baseline.get("scale", {})
+    for field in SCALE_FIELDS:
+        expected = scale.get(field)
+        got = ledger.get(field)
+        if expected != got:
+            problems.append(
+                f"scale mismatch: {field} is {got!r}, baseline was "
+                f"recorded at {expected!r}"
+            )
+    if problems:
+        return problems
+    totals = ledger.get("perf_totals", {})
+    recorded = baseline.get("counters", {})
+    # Gate the union: a baseline missing a gated counter (truncated by
+    # hand, or GATE_COUNTERS grew since it was recorded) must fail
+    # loudly, never pass vacuously.
+    for counter in sorted(set(GATE_COUNTERS) | set(recorded)):
+        if counter not in recorded:
+            problems.append(
+                f"baseline missing gated counter {counter!r} — re-record "
+                f"it (--update)"
+            )
+            continue
+        expected = recorded[counter]
+        got = totals.get(counter)
+        if got != expected:
+            delta = ""
+            if isinstance(got, (int, float)) and expected:
+                delta = f" ({(got - expected) / expected:+.2%})"
+            problems.append(
+                f"counter drifted: {counter} = {got!r}, baseline "
+                f"{expected!r}{delta}"
+            )
+    return problems
+
+
+def update_baseline(ledger, path, counters=GATE_COUNTERS):
+    """Write ``ledger``'s gated counters to ``path`` as the baseline."""
+    baseline = baseline_from_ledger(ledger, counters)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return baseline

@@ -16,14 +16,20 @@ Catalogue (all registered in :data:`repro.harness.registry.SCENARIOS`):
 ``oscillate``         cellular/5G-style high-frequency capacity swings
 ``flash_crowd``       staggered receiver joins over a ramp
 ``churn``             nodes drop to trickle connectivity and come back
-``trace_replay``      drive capacities from a recorded (time, bw) trace
+``trace_replay``      drive conditions from a (time, bw[, loss, delay]) trace
+``gilbert_elliott``   two-state bursty loss on every core link
+``asymmetric_squeeze``  capacity cuts on receiver uplinks only
+``lossy``             overlay a loss schedule on any other scenario
 ====================  =======================================================
 
-Combinators — :func:`compose`, :func:`delay`, :func:`repeat` — build
+Scenarios actuate the full link-condition engine — capacity, loss rate,
+and delay, per direction (see :mod:`repro.sim.links`).  Combinators —
+:func:`compose`, :func:`delay`, :func:`repeat`, :func:`lossy` — build
 compound conditions; :class:`TraceRecorder` captures any run's link
-schedule for later replay.  ``run_experiment`` accepts Scenario
-instances directly (or registry names), and every scenario still works
-as a legacy ``scenario(sim, topology)`` installer.
+schedule (optionally including loss and delay columns) for later
+replay.  ``run_experiment`` accepts Scenario instances directly (or
+registry names), and every scenario still works as a legacy
+``scenario(sim, topology)`` installer.
 """
 
 from repro.scenarios.base import (
@@ -51,9 +57,16 @@ from repro.scenarios.combinators import (
     delay,
     repeat,
 )
+from repro.scenarios.dynamics import (
+    AsymmetricSqueeze,
+    GilbertElliott,
+    Lossy,
+    lossy,
+)
 from repro.scenarios.tracefile import (
     TraceRecorder,
     TraceReplay,
+    read_csv_trace,
     read_trace,
     write_trace,
 )
@@ -70,8 +83,12 @@ __all__ = [
     "Oscillate",
     "FlashCrowd",
     "Churn",
+    "GilbertElliott",
+    "AsymmetricSqueeze",
+    "Lossy",
     "TraceRecorder",
     "TraceReplay",
+    "read_csv_trace",
     "read_trace",
     "write_trace",
     "Compose",
@@ -80,6 +97,7 @@ __all__ = [
     "compose",
     "delay",
     "repeat",
+    "lossy",
     "correlated_decreases",
     "cascading_cuts",
 ]
@@ -203,12 +221,79 @@ SCENARIOS.register(
 SCENARIOS.register(
     "trace_replay",
     TraceReplay,
-    description="drive link capacities from a recorded (time, bw) trace",
+    description=(
+        "drive link conditions from a (time, bw[, loss, delay]) trace"
+    ),
     aliases=("trace",),
     params=(
         Param("path", "str", default=None,
-              description="trace file to replay (default: built-in demo dip)"),
+              description="trace file (.json or .csv) to replay "
+              "(default: built-in demo dip)"),
         Param("time_scale", "float", default=1.0,
               description="stretch (>1) or compress (<1) the trace clock"),
+    ),
+)
+SCENARIOS.register(
+    "gilbert_elliott",
+    GilbertElliott,
+    description="two-state (Gilbert-Elliott) bursty loss on every core link",
+    aliases=("bursty_loss",),
+    params=(
+        Param("bad_loss", "float", default=0.05,
+              description="loss overlaid while a link is in the bad state"),
+        Param("good_loss", "float", default=0.0,
+              description="loss overlaid while in the good state"),
+        Param("mean_good", "float", default=20.0,
+              description="mean seconds a link stays in the good state"),
+        Param("mean_bad", "float", default=5.0,
+              description="mean seconds a link stays in the bad state"),
+        Param("sample_period", "float", default=1.0,
+              description="Markov-chain tick interval in seconds"),
+        Param("start", "float", default=0.0,
+              description="first firing, seconds after installation"),
+        Param("stop", "float", default=None,
+              description="stop after this many seconds (None: run forever)"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for this scenario's RNG"),
+    ),
+)
+SCENARIOS.register(
+    "asymmetric_squeeze",
+    AsymmetricSqueeze,
+    description="periodic capacity cuts on receiver uplinks only (asymmetric)",
+    aliases=("uplink_squeeze",),
+    params=(
+        Param("period", "float", default=20.0,
+              description="seconds between squeeze rounds"),
+        Param("fraction", "float", default=0.5,
+              description="fraction of receivers squeezed per round, (0, 1]"),
+        Param("factor", "float", default=0.5,
+              description="multiplier applied to each uplink, in (0, 1)"),
+        Param("floor", "float", default=32 * KBPS,
+              description="uplinks never degrade below this (bytes/sec)"),
+        Param("hold", "float", default=None,
+              description="release each cut after this many seconds "
+              "(None: cuts are cumulative)"),
+        *_COMMON_WINDOW,
+    ),
+)
+SCENARIOS.register(
+    "lossy",
+    Lossy,
+    description="overlay a loss schedule on any other scenario",
+    aliases=("loss_overlay",),
+    params=(
+        Param("base", "str", default="none",
+              description="scenario to overlay (any registered name)"),
+        Param("loss", "float", default=0.02,
+              description="loss probability overlaid while the schedule is on"),
+        Param("period", "float", default=None,
+              description="square-wave cycle length (None: constant overlay)"),
+        Param("duty", "float", default=0.5,
+              description="fraction of each cycle the overlay is on, (0, 1]"),
+        Param("start", "float", default=0.0,
+              description="overlay (or first cycle) starts after this delay"),
+        Param("stop", "float", default=None,
+              description="stop after this many seconds (None: run forever)"),
     ),
 )

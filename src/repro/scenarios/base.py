@@ -81,6 +81,34 @@ class ScenarioContext:
         """Deterministically ordered ``[((src, dst), link), ...]``."""
         return sorted(self.topology.core.items())
 
+    def uplinks(self, node):
+        """Links carrying ``node``'s *outbound* traffic, in deterministic
+        order: the access uplink when the topology models one, otherwise
+        every core link out of the node.  Links are unidirectional, so
+        mutating these leaves the inbound direction untouched — this is
+        the actuation point for asymmetric (per-direction) dynamics.
+        """
+        up = self.topology.access_up.get(node)
+        if up is not None:
+            return [up]
+        return [
+            link
+            for (src, _dst), link in self.core_links()
+            if src == node
+        ]
+
+    def downlinks(self, node):
+        """Links carrying ``node``'s *inbound* traffic (mirror of
+        :meth:`uplinks`)."""
+        down = self.topology.access_down.get(node)
+        if down is not None:
+            return [down]
+        return [
+            link
+            for (_src, dst), link in self.core_links()
+            if dst == node
+        ]
+
 
 class ScenarioHandle:
     """Cancellation handle for one installed scenario.

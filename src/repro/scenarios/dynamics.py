@@ -1,0 +1,441 @@
+"""Loss-rate and asymmetric link-condition scenarios.
+
+The catalogue in :mod:`repro.scenarios.catalog` manipulates *capacity*,
+the knob the paper's own dynamic experiments turn.  Real dynamic
+networks — cellular links, congested access networks — also vary **loss
+rate** and are **asymmetric**, and loss is exactly where TCP variants
+diverge (the Mathis cap makes throughput collapse like ``1/sqrt(p)``).
+These scenarios drive the other two axes of the link-condition engine:
+
+- :class:`GilbertElliott` — the classic two-state bursty-loss model:
+  every link flips between a *good* and a *bad* loss state with
+  exponential-ish sojourn times, seeded and deterministic.
+- :class:`AsymmetricSqueeze` — periodic capacity cuts applied to the
+  **uplink direction only**, modeling congested access uplinks while
+  downstream capacity stays intact.
+- :class:`Lossy` — a combinator overlaying a loss schedule (constant or
+  square-wave) on any other scenario, so every capacity scenario in the
+  catalogue composes with loss dynamics by name.
+
+All three undo the changes they applied when cancelled, draw any
+randomness from seeded per-scenario streams, and apply loss overlays
+*multiplicatively on the keep probability* — ``1 - loss`` — so they
+compose with each other (and with lossy baseline topologies) without
+clobbering anyone's writes.  Multiplicative removal is the composition
+price: cancelling restores baselines exactly up to float round-trip
+(one ulp), not bit-exactly — an absolute-snapshot restore would be
+bit-exact but would erase concurrent writers' changes.
+"""
+
+from repro.common.units import KBPS
+from repro.scenarios.base import (
+    CompositeHandle,
+    Scenario,
+    ScenarioHandle,
+    install_scenario,
+)
+
+__all__ = [
+    "AsymmetricSqueeze",
+    "GilbertElliott",
+    "Lossy",
+    "lossy",
+]
+
+
+def _overlay_loss(current, extra):
+    """Add an independent loss process on top of ``current``."""
+    value = 1.0 - (1.0 - current) * (1.0 - extra)
+    if value < 0.0:
+        return 0.0
+    if value >= 1.0:
+        return 0.999999
+    return value
+
+
+def _remove_loss(current, extra):
+    """Inverse of :func:`_overlay_loss` (same clamping)."""
+    value = 1.0 - (1.0 - current) / (1.0 - extra)
+    if value < 0.0:
+        return 0.0
+    if value >= 1.0:
+        return 0.999999
+    return value
+
+
+class GilbertElliott(Scenario):
+    """Two-state (Gilbert-Elliott) bursty loss on every core link.
+
+    Each link carries an independent two-state Markov chain sampled
+    every ``sample_period`` seconds: in the *good* state the link keeps
+    its baseline loss rate (plus ``good_loss``, if any); in the *bad*
+    state an additional ``bad_loss`` process is overlaid.  Mean sojourn
+    times are ``mean_good`` / ``mean_bad`` seconds, so the loss bursts
+    have the heavy-tailed on/off texture measured on cellular and
+    congested paths rather than a flat average.
+
+    Every tick draws exactly one uniform variate per link (whether or
+    not the state flips), so the schedule is a pure function of the
+    seed — runs are bit-reproducible at any worker count.  State
+    transitions swap the *overlay* (multiplicatively on the keep
+    probability), never writing absolute values, so loss changes made
+    by composed scenarios (a :class:`Lossy` schedule, a replayed trace)
+    persist underneath; cancelling removes whatever overlay is
+    currently applied the same way.
+    """
+
+    name = "gilbert_elliott"
+
+    def __init__(
+        self,
+        bad_loss=0.05,
+        good_loss=0.0,
+        mean_good=20.0,
+        mean_bad=5.0,
+        sample_period=1.0,
+        start=0.0,
+        stop=None,
+        seed=None,
+    ):
+        if not 0.0 <= good_loss < 1.0:
+            raise ValueError(f"good_loss must be in [0, 1), got {good_loss}")
+        if not good_loss <= bad_loss < 1.0:
+            raise ValueError(f"need good_loss <= bad_loss < 1, got {bad_loss}")
+        if mean_good <= 0 or mean_bad <= 0:
+            raise ValueError(
+                f"mean sojourn times must be > 0, got "
+                f"good={mean_good} bad={mean_bad}"
+            )
+        if sample_period <= 0:
+            raise ValueError(f"sample_period must be > 0, got {sample_period}")
+        self.bad_loss = bad_loss
+        self.good_loss = good_loss
+        self.mean_good = mean_good
+        self.mean_bad = mean_bad
+        self.sample_period = sample_period
+        self.start = start
+        self.stop = stop
+        self.seed = seed
+
+    def _swap_overlay(self, link, old_extra, new_extra):
+        """Replace this scenario's overlay on ``link``: divide out the
+        old extra-loss process, multiply in the new one.  Operating on
+        the link's *current* loss (not an install-time snapshot) keeps
+        concurrent writers — a composed overlay, a trace — intact."""
+        value = link.loss_rate
+        if old_extra > 0.0:
+            value = _remove_loss(value, old_extra)
+        if new_extra > 0.0:
+            value = _overlay_loss(value, new_extra)
+        link.loss_rate = value
+
+    def install(self, ctx):
+        rng = ctx.rng("gilbert_elliott", self.seed)
+        # One [link, in-bad-state] pair per core link.
+        links = [[link, False] for _pair, link in ctx.core_links()]
+        for entry in links:
+            self._swap_overlay(entry[0], 0.0, self.good_loss)
+        # Geometric sojourn approximation of the exponential: leave a
+        # state with probability sample/mean per tick.
+        p_leave_good = min(1.0, self.sample_period / self.mean_good)
+        p_leave_bad = min(1.0, self.sample_period / self.mean_bad)
+        handle = ScenarioHandle()
+        origin = ctx.sim.now
+
+        def tick():
+            if self.stop is not None and ctx.sim.now - origin >= self.stop:
+                # A final periodic firing can land exactly on the stop
+                # boundary; the window is over, don't flip states the
+                # end-of-window cleanup below already (or is about to)
+                # settle.
+                return
+            for entry in links:
+                link, bad = entry
+                roll = rng.random()
+                if bad:
+                    if roll < p_leave_bad:
+                        entry[1] = False
+                        self._swap_overlay(link, self.bad_loss, self.good_loss)
+                elif roll < p_leave_good:
+                    entry[1] = True
+                    self._swap_overlay(link, self.good_loss, self.bad_loss)
+
+        handle.periodic(
+            ctx.sim,
+            tick,
+            start=self.start + self.sample_period,
+            period=self.sample_period,
+            duration=self.stop,
+        )
+
+        def end_bad_states():
+            # The stop window ends the *process*: links caught in the
+            # bad state return to good instead of staying lossy for the
+            # rest of the run.  Scheduled after the periodic, so it runs
+            # after any final tick sharing its timestamp.
+            for entry in links:
+                if entry[1]:
+                    entry[1] = False
+                    self._swap_overlay(entry[0], self.bad_loss, self.good_loss)
+
+        if self.stop is not None:
+            handle.add_timer(ctx.sim.schedule(self.stop, end_bad_states))
+
+        def remove_overlays():
+            for link, bad in links:
+                self._swap_overlay(link, self.bad_loss if bad else self.good_loss, 0.0)
+
+        handle.on_cancel(remove_overlays)
+        return handle
+
+
+class AsymmetricSqueeze(Scenario):
+    """Periodic capacity cuts on receiver *uplinks* only.
+
+    Every ``period`` seconds, ``fraction`` of the receivers (at least
+    one) have their uplink-direction capacity multiplied by ``factor``
+    (cumulative, never below ``floor``) — the congested-access-uplink
+    regime where a node can still download at full speed but serves
+    peers through a strangled upstream.  Downlink-direction capacity is
+    never touched, and neither is the source (it is the data).
+
+    The uplink direction is the access uplink where the topology models
+    one, else every core link out of the node (see
+    ``ScenarioContext.uplinks``).  With ``hold`` set, each cut is
+    released (multiplicatively, so composed scenarios' changes persist)
+    ``hold`` seconds later, turning the cumulative squeeze into
+    squeeze-and-recover cycles.  Cancelling releases every cut still
+    outstanding, the same multiplicative way.
+    """
+
+    name = "asymmetric_squeeze"
+
+    def __init__(
+        self,
+        period=20.0,
+        fraction=0.5,
+        factor=0.5,
+        floor=32 * KBPS,
+        hold=None,
+        start=None,
+        stop=None,
+        seed=None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        if hold is not None and hold <= 0:
+            raise ValueError(f"hold must be > 0, got {hold}")
+        self.period = period
+        self.fraction = fraction
+        self.factor = factor
+        self.floor = floor
+        self.hold = hold
+        self.start = start
+        self.stop = stop
+        self.seed = seed
+
+    def install(self, ctx):
+        sim = ctx.sim
+        rng = ctx.rng("asymmetric_squeeze", self.seed)
+        receivers = list(ctx.receivers)
+        handle = ScenarioHandle()
+        inverse = 1.0 / self.factor
+        # link -> number of cuts currently applied and not yet released;
+        # the cancel teardown unwinds exactly these.
+        outstanding = {}
+        # Pending hold-release timers, keyed by a sequence number each
+        # release pops on firing — self-pruning, so a long run never
+        # accumulates fired timers (which would pin them out of the
+        # engine's recycling pool).
+        pending = {}
+        next_key = [0]
+
+        def release(cut_links):
+            for link in cut_links:
+                count = outstanding.get(link, 0)
+                if count:
+                    outstanding[link] = count - 1
+                    link.scale_capacity(inverse)
+
+        def fire():
+            count = max(1, int(len(receivers) * self.fraction))
+            cut = []
+            for node in rng.sample(receivers, min(count, len(receivers))):
+                for link in ctx.uplinks(node):
+                    if link.capacity * self.factor >= self.floor:
+                        link.scale_capacity(self.factor)
+                        outstanding[link] = outstanding.get(link, 0) + 1
+                        cut.append(link)
+            if self.hold is not None and cut:
+                key = next_key[0]
+                next_key[0] = key + 1
+
+                def fire_release(links=cut, key=key):
+                    pending.pop(key, None)
+                    release(links)
+
+                pending[key] = sim.schedule(self.hold, fire_release)
+
+        handle.periodic(
+            sim,
+            fire,
+            start=self.period if self.start is None else self.start,
+            period=self.period,
+            duration=self.stop,
+        )
+
+        def release_everything():
+            for timer in pending.values():
+                timer.cancel()
+            pending.clear()
+            for link, count in outstanding.items():
+                for _ in range(count):
+                    link.scale_capacity(inverse)
+            outstanding.clear()
+
+        handle.on_cancel(release_everything)
+        return handle
+
+
+class Lossy(Scenario):
+    """Overlay a loss schedule on any other scenario.
+
+    ``base`` is a :class:`Scenario` instance or a registered scenario
+    name (resolved at install time, so the instance stays pure
+    configuration); the overlay adds a ``loss`` process to every core
+    link.  With ``period=None`` the overlay switches on ``start``
+    seconds after installation and off at ``stop`` (or teardown); with a
+    ``period`` it follows a square wave — on for ``duty`` of each cycle
+    — modeling recurring loss episodes (cross-traffic bursts, interface
+    roaming) riding on top of whatever capacity dynamics ``base``
+    provides.
+
+    The overlay multiplies the keep probability, so the base scenario
+    (or a composed :class:`GilbertElliott`) can keep mutating loss
+    underneath without either side clobbering the other.
+    """
+
+    name = "lossy"
+
+    def __init__(
+        self,
+        base="none",
+        loss=0.02,
+        period=None,
+        duty=0.5,
+        start=0.0,
+        stop=None,
+    ):
+        if not 0.0 < loss < 1.0:
+            raise ValueError(f"loss must be in (0, 1), got {loss}")
+        if period is not None and period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        if not 0.0 < duty <= 1.0:
+            raise ValueError(f"duty must be in (0, 1], got {duty}")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if stop is not None and stop <= start:
+            raise ValueError(
+                f"stop must be > start (install-relative window), got "
+                f"start={start} stop={stop}"
+            )
+        self.base = base
+        self.loss = loss
+        self.period = period
+        self.duty = duty
+        self.start = start
+        self.stop = stop
+
+    def _resolve_base(self):
+        if isinstance(self.base, str):
+            from repro.harness.registry import SCENARIOS
+
+            return SCENARIOS.build(self.base)
+        return self.base
+
+    def install(self, ctx):
+        sim = ctx.sim
+        links = [link for _pair, link in ctx.core_links()]
+        handle = CompositeHandle()
+        handle.add(install_scenario(self._resolve_base(), ctx))
+        own = ScenarioHandle()
+        handle.add(own)
+        # One live off-timer slot, overwritten per cycle (appending each
+        # cycle's timer to the handle would pin an ever-growing list of
+        # fired timers out of the engine's recycling pool).
+        state = {"on": False, "off_timer": None}
+
+        def overlay_on():
+            if state["on"] or own.cancelled:
+                return
+            state["on"] = True
+            for link in links:
+                link.loss_rate = _overlay_loss(link.loss_rate, self.loss)
+
+        def overlay_off():
+            if not state["on"]:
+                return
+            state["on"] = False
+            for link in links:
+                link.loss_rate = _remove_loss(link.loss_rate, self.loss)
+
+        if self.period is None:
+            own.add_timer(sim.schedule(self.start, overlay_on))
+            if self.stop is not None:
+                # stop is install-relative, like every catalogue window.
+                own.add_timer(sim.schedule(self.stop, overlay_off))
+        else:
+            on_time = self.period * self.duty
+            origin = sim.now
+
+            def cycle():
+                if self.stop is not None and sim.now - origin >= self.stop:
+                    # The periodic's last firing lands exactly on the
+                    # stop boundary; the window is over, stay off.
+                    return
+                overlay_on()
+                if on_time < self.period:
+                    state["off_timer"] = sim.schedule(on_time, overlay_off)
+
+            own.periodic(
+                sim,
+                cycle,
+                start=self.start,
+                period=self.period,
+                duration=self.stop,
+            )
+            if self.stop is not None:
+                # The stop window ends the overlay even when the last
+                # cycle's on-phase crosses it (or duty == 1.0 never
+                # schedules per-cycle off-edges at all).
+                own.add_timer(sim.schedule(self.stop, overlay_off))
+
+            def cancel_off_timer():
+                if state["off_timer"] is not None:
+                    state["off_timer"].cancel()
+
+            own.on_cancel(cancel_off_timer)
+        own.on_cancel(overlay_off)
+        return handle
+
+    def __repr__(self):
+        return (
+            f"Lossy({self.base!r}, loss={self.loss}, period={self.period}, "
+            f"duty={self.duty})"
+        )
+
+
+def lossy(base, loss=0.02, period=None, duty=0.5, start=0.0, stop=None):
+    """Overlay a loss schedule on ``base`` (see :class:`Lossy`)."""
+    return Lossy(
+        base=base,
+        loss=loss,
+        period=period,
+        duty=duty,
+        start=start,
+        stop=stop,
+    )

@@ -1,24 +1,35 @@
-"""Record and replay per-link capacity traces.
+"""Record and replay per-link condition traces.
 
-A *trace* is a time-ordered list of capacity events::
+A *trace* is a time-ordered list of condition events::
 
     {"t": 12.5, "link": "3->7", "capacity": 125000.0}
     {"t": 15.0, "link": "*",    "scale": 0.5}
+    {"t": 18.0, "link": "*",    "loss": 0.02, "delay": 0.08}
 
 ``link`` names a core link as ``"src->dst"`` (node ids) or ``"*"`` for
-every core link; an event either sets an absolute ``capacity`` in
-bytes/second or multiplies the current capacity by ``scale``.
+every core link.  An event carries any subset of the link-condition
+columns: an absolute ``capacity`` in bytes/second *or* a multiplicative
+``scale`` on the current capacity, plus optional ``loss`` (probability)
+and ``delay`` (one-way seconds) — the multi-column form that lets one
+measured LTE/5G trace drive all three knobs of the link-condition
+engine at once.
 
 - :class:`TraceRecorder` — a scenario that samples every core link at a
-  fixed period and appends an event whenever a capacity changed (plus
-  the full baseline at install time).  ``save()`` writes the JSON trace
-  file; any run can thus be recorded and replayed later.
-- :class:`TraceReplay` — a scenario that drives link capacities from a
-  trace (in-memory events or a file), so measured conditions — a 5G
-  drive trace, a recorded experiment — can be imposed on any system.
+  fixed period and appends an event whenever a recorded column changed
+  (plus the full baseline at install time).  By default only capacity
+  is recorded — the original ``(time, bandwidth)`` contract —
+  ``record_loss`` / ``record_delay`` add the other columns.  ``save()``
+  writes the JSON trace file; any run can thus be recorded and replayed
+  later.
+- :class:`TraceReplay` — a scenario that drives link conditions from a
+  trace (in-memory events, a JSON trace file, or a ``.csv`` of
+  ``time, bandwidth[, loss[, delay]]`` rows), so measured conditions —
+  a 5G drive trace, a recorded experiment — can be imposed on any
+  system.
 
 Round-tripping is exact: replaying a recorded trace while recording
-again yields the identical event list (see the trace round-trip test).
+again yields the identical event list (see the trace round-trip tests),
+including the loss and delay columns.
 """
 
 import json
@@ -28,11 +39,15 @@ from repro.scenarios.base import Scenario, ScenarioHandle
 __all__ = [
     "TraceRecorder",
     "TraceReplay",
+    "read_csv_trace",
     "read_trace",
     "write_trace",
 ]
 
 TRACE_VERSION = 1
+
+#: Condition columns an event may carry, beyond capacity/scale.
+_EXTRA_COLUMNS = ("loss", "delay")
 
 
 def _link_key(pair):
@@ -62,8 +77,107 @@ def write_trace(path, events, sample_period=None):
         fh.write("\n")
 
 
+def read_csv_trace(path):
+    """Read a ``time, bandwidth[, loss[, delay]]`` CSV as trace events.
+
+    The measured-trace interchange format: one row per sample, applied
+    to every core link (``link: "*"``).  Bandwidth is in bytes/second,
+    loss a probability, delay one-way seconds.  A header row naming the
+    columns (any subset of ``time, bandwidth, loss, delay``, in any
+    order) is honored; without one, columns are taken positionally.
+
+    Measured traces contain outage samples; rather than exploding
+    mid-run against the simulator's invariants (capacity strictly
+    positive, loss strictly below 1), zero-bandwidth samples clamp to a
+    1 B/s trickle — the same convention the churn scenario uses for
+    dark nodes — and loss clamps just below 1.  Negative values are
+    rejected with the offending line number.
+    """
+    columns = ["time", "bandwidth", "loss", "delay"]
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            fields = [f.strip() for f in line.split(",")]
+            # An empty field is a missing sample for its column — kept
+            # positional (NOT dropped, which would shift later columns
+            # onto the wrong knobs).
+            values = []
+            numeric = True
+            for field in fields:
+                if not field:
+                    values.append(None)
+                    continue
+                try:
+                    values.append(float(field))
+                except ValueError:
+                    numeric = False
+                    break
+            if not numeric:
+                if events:
+                    raise ValueError(
+                        f"{path}: line {line_no}: non-numeric row {line!r}"
+                    )
+                # Header row: take it as the column order.
+                columns = [f.lower() for f in fields if f]
+                unknown = set(columns) - {"time", "bandwidth", "loss", "delay"}
+                if unknown or "time" not in columns:
+                    raise ValueError(
+                        f"{path}: header must name time, bandwidth, loss, "
+                        f"delay (got {fields!r})"
+                    )
+                continue
+            if len(fields) > len(columns):
+                raise ValueError(
+                    f"{path}: line {line_no}: {len(fields)} fields but only "
+                    f"{len(columns)} columns ({columns})"
+                )
+            row = {
+                column: value
+                for column, value in zip(columns, values)
+                if value is not None
+            }
+            if "time" not in row:
+                raise ValueError(f"{path}: line {line_no}: row without a time")
+            if len(row) == 1:
+                raise ValueError(
+                    f"{path}: line {line_no}: row has a time but no "
+                    f"condition columns"
+                )
+            event = {"t": row["time"], "link": "*"}
+            if "bandwidth" in row:
+                bandwidth = row["bandwidth"]
+                if bandwidth < 0:
+                    raise ValueError(
+                        f"{path}: line {line_no}: negative bandwidth "
+                        f"{bandwidth}"
+                    )
+                event["capacity"] = bandwidth if bandwidth >= 1.0 else 1.0
+            if "loss" in row:
+                loss = row["loss"]
+                if loss < 0:
+                    raise ValueError(
+                        f"{path}: line {line_no}: negative loss {loss}"
+                    )
+                event["loss"] = loss if loss < 1.0 else 0.999999
+            if "delay" in row:
+                if row["delay"] < 0:
+                    raise ValueError(
+                        f"{path}: line {line_no}: negative delay "
+                        f"{row['delay']}"
+                    )
+                event["delay"] = row["delay"]
+            events.append(event)
+    return events
+
+
 def read_trace(path):
-    """Read a trace file written by :func:`write_trace`; returns events."""
+    """Read a trace file: :func:`write_trace` JSON, or ``.csv`` rows
+    (see :func:`read_csv_trace`); returns the event list."""
+    if str(path).endswith(".csv"):
+        return read_csv_trace(path)
     with open(path, "r", encoding="utf-8") as fh:
         doc = json.load(fh)
     version = doc.get("version")
@@ -73,14 +187,19 @@ def read_trace(path):
 
 
 class TraceRecorder(Scenario):
-    """Record every core link's capacity schedule while a run executes.
+    """Record every core link's condition schedule while a run executes.
 
     At install time the full baseline is captured as events at the
     current simulated time; afterwards the links are sampled every
-    ``sample_period`` seconds (offset by ``start``) and any capacity
-    change is appended as an event.  Changes faster than the sample
-    period collapse to the sampled schedule — the recorded trace *is*
-    the contract a replay reproduces.
+    ``sample_period`` seconds (offset by ``start``) and any change in a
+    recorded column is appended as an event carrying exactly the
+    changed columns.  Changes faster than the sample period collapse to
+    the sampled schedule — the recorded trace *is* the contract a
+    replay reproduces.
+
+    ``record_loss`` / ``record_delay`` extend recording beyond capacity
+    to the other link-condition axes; the default records capacity only,
+    byte-identical to the original ``(time, bandwidth)`` recorder.
 
     One recorder instance accumulates across installs into ``events``;
     call :meth:`reset` (or use a fresh instance) per recording.
@@ -88,13 +207,17 @@ class TraceRecorder(Scenario):
 
     name = "trace_record"
 
-    def __init__(self, sample_period=1.0, start=0.0):
+    def __init__(
+        self, sample_period=1.0, start=0.0, record_loss=False, record_delay=False
+    ):
         if sample_period <= 0:
             raise ValueError(
                 f"sample_period must be > 0, got {sample_period}"
             )
         self.sample_period = sample_period
         self.start = start
+        self.record_loss = record_loss
+        self.record_delay = record_delay
         self.events = []
 
     def reset(self):
@@ -104,31 +227,38 @@ class TraceRecorder(Scenario):
         write_trace(path, self.events, sample_period=self.sample_period)
         return path
 
+    def _snapshot(self, link):
+        """The recorded columns' current values, in column order."""
+        values = {"capacity": link.capacity}
+        if self.record_loss:
+            values["loss"] = link.loss_rate
+        if self.record_delay:
+            values["delay"] = link.delay
+        return values
+
     def install(self, ctx):
         sim = ctx.sim
         links = ctx.core_links()
         last = {}
         for pair, link in links:
-            last[pair] = link.capacity
-            self.events.append(
-                {
-                    "t": sim.now,
-                    "link": _link_key(pair),
-                    "capacity": link.capacity,
-                }
-            )
+            values = self._snapshot(link)
+            last[pair] = values
+            self.events.append({"t": sim.now, "link": _link_key(pair), **values})
         handle = ScenarioHandle()
 
         def tick():
             for pair, link in links:
-                if link.capacity != last[pair]:
-                    last[pair] = link.capacity
+                values = self._snapshot(link)
+                previous = last[pair]
+                if values != previous:
+                    changed = {
+                        column: value
+                        for column, value in values.items()
+                        if value != previous[column]
+                    }
+                    last[pair] = values
                     self.events.append(
-                        {
-                            "t": sim.now,
-                            "link": _link_key(pair),
-                            "capacity": link.capacity,
-                        }
+                        {"t": sim.now, "link": _link_key(pair), **changed}
                     )
 
         return handle.periodic(
@@ -149,15 +279,16 @@ DEMO_EVENTS = (
 
 
 class TraceReplay(Scenario):
-    """Drive per-link capacities from a recorded ``(time, bandwidth)`` trace.
+    """Drive per-link conditions from a recorded multi-column trace.
 
     ``events`` is a list of event dicts (see the module docstring);
-    ``path`` loads one from a trace file instead.  With neither, a small
-    built-in demo schedule (a network-wide dip-and-recover) is used so
-    the scenario is runnable out of the box.  Events whose time is
-    already past at install are applied immediately; unknown links are
-    ignored (a trace recorded on one topology replays its intersection
-    onto another).
+    ``path`` loads one from a trace file instead — JSON, or a
+    ``time, bandwidth[, loss[, delay]]`` ``.csv`` of measured samples.
+    With neither, a small built-in demo schedule (a network-wide
+    dip-and-recover) is used so the scenario is runnable out of the
+    box.  Events whose time is already past at install are applied
+    immediately; unknown links are ignored (a trace recorded on one
+    topology replays its intersection onto another).
     """
 
     name = "trace_replay"
@@ -176,10 +307,16 @@ class TraceReplay(Scenario):
         for event in self.events:
             if "t" not in event or "link" not in event:
                 raise ValueError(f"trace event missing t/link: {event!r}")
-            if ("capacity" in event) == ("scale" in event):
+            if "capacity" in event and "scale" in event:
                 raise ValueError(
-                    f"trace event needs exactly one of capacity/scale: "
+                    f"trace event cannot carry both capacity and scale: "
                     f"{event!r}"
+                )
+            columns = ("capacity", "scale", *_EXTRA_COLUMNS)
+            if not any(column in event for column in columns):
+                raise ValueError(
+                    f"trace event needs at least one of "
+                    f"capacity/scale/loss/delay: {event!r}"
                 )
 
     def _targets(self, ctx, key):
@@ -197,10 +334,15 @@ class TraceReplay(Scenario):
             if handle.cancelled:
                 return
             for link in self._targets(ctx, event["link"]):
-                if "capacity" in event:
-                    link.capacity = event["capacity"]
-                else:
+                if "scale" in event:
                     link.scale_capacity(event["scale"])
+                # set_conditions is the one multi-knob actuation point;
+                # scale (relative, capacity-only) is the lone exception.
+                link.set_conditions(
+                    capacity=event.get("capacity"),
+                    loss_rate=event.get("loss"),
+                    delay=event.get("delay"),
+                )
 
         for event in sorted(self.events, key=lambda e: e["t"]):
             at = origin + event["t"] * self.time_scale

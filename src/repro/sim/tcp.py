@@ -52,8 +52,23 @@ equally valid schedule.  The recorded golden matrix pins the realized
 behavior; the incremental ≡ full guarantee is unaffected (both modes
 settle per component).
 
+Link-condition dynamics
+-----------------------
+
+Capacity is not the only runtime-mutable link knob: the link-condition
+engine lets scenarios drive ``loss_rate`` and ``delay`` too (see
+:mod:`repro.sim.links`).  A loss/delay mutation bumps the network's
+*condition epoch* and stamps the link; active flows crossing the link
+get their path invariants (Mathis cap, RTT, loss, RTO) refreshed
+immediately and their components re-filled, while idle flows refresh
+lazily at their next activation by comparing stamps.  When no scenario
+touches loss or delay the epoch never moves and the whole mechanism
+reduces to one always-equal integer compare per activation — which is
+why capacity-only runs are bit-identical to the pre-engine code.
+
 Per-flow invariants (Mathis cap, RTT, loss, RTO) are computed once at
-flow creation, and a ``ramp_done`` latch stops flows past slow-start
+flow creation (and refreshed on condition changes as above), and a
+``ramp_done`` latch stops flows past slow-start
 from paying the exponential window recompute or scheduling further ramp
 revisits.  Per-link allocation scratch (``remaining`` capacity and
 unfrozen-flow counts) lives in slots on the :class:`~repro.sim.links.Link`
@@ -156,11 +171,13 @@ class Flow:
         "ramp_done",
         "ramp_binding",
         "on_rate_change",
+        "on_path_change",
         "_active",
         "_network",
         "_cap",
         "_frozen",
         "_visit_epoch",
+        "_path_epoch",
     )
 
     def __init__(self, name, links, model, started_at):
@@ -186,6 +203,11 @@ class Flow:
         #: allocation changes the flow's rate; the transport credits
         #: progress at ``old_rate`` and reschedules transmissions.
         self.on_rate_change = None
+        #: Callback ``on_path_change(flow)`` fired after the path
+        #: invariants above (Mathis cap, RTT, loss, RTO) were refreshed
+        #: because a traversed link's loss rate or delay changed; the
+        #: transport re-reads its cached per-channel copies.
+        self.on_path_change = None
         self._active = False
         self._network = None
         #: Allocation scratch: instantaneous cap / frozen marker for the
@@ -194,6 +216,9 @@ class Flow:
         self._cap = 0.0
         self._frozen = False
         self._visit_epoch = -1
+        #: Condition epoch (see FlowNetwork) at which the path invariants
+        #: were last computed; lets idle flows refresh lazily.
+        self._path_epoch = 0
 
     @property
     def active(self):
@@ -248,6 +273,14 @@ class FlowNetwork:
         self._ramping_flows = set()
         #: Monotone pass id for link-list dedup without dictionaries.
         self._alloc_epoch = 0
+        #: Monotone count of loss/delay mutations anywhere in the
+        #: network (the *condition epoch*).  Flows stamp the epoch their
+        #: path invariants were computed at; while no scenario touches
+        #: loss or delay this never moves, the staleness test in
+        #: ``activate`` is a single always-equal int compare, and the
+        #: capacity-only trajectory is bit-identical to the pre-engine
+        #: code by construction.
+        self._cond_epoch = 0
         #: Epoch used by the latest component discovery (flows stamped
         #: with it were refilled this pass).
         self._last_bfs_epoch = -1
@@ -260,21 +293,39 @@ class FlowNetwork:
         #: Progressive-filling freeze rounds across all fills (each round
         #: surfaces one bottleneck level from the share heap).
         self.fill_rounds = 0
+        #: Per-flow path-invariant recomputations forced by loss/delay
+        #: condition changes (zero in capacity-only runs).
+        self.path_refreshes = 0
 
     def new_flow(self, name, links):
         flow = Flow(name, links, self.model, started_at=self.sim.now)
         flow.seq = self._flow_seq
         self._flow_seq += 1
         flow._network = self
+        flow._path_epoch = self._cond_epoch
         for link in links:
             if link.on_capacity_change is None:
                 link.on_capacity_change = self._capacity_changed
+            if link.on_condition_change is None:
+                link.on_condition_change = self._condition_changed
         return flow
 
     def activate(self, flow):
         """Mark ``flow`` as having data to send."""
         if flow._active:
             return
+        if flow._path_epoch != self._cond_epoch:
+            # Some link somewhere changed loss/delay since this flow's
+            # invariants were computed; recompute only if one of *its*
+            # links did (idle flows are refreshed here, lazily — active
+            # flows eagerly in _condition_changed).
+            stamp = flow._path_epoch
+            for link in flow.links:
+                if link._cond_stamp > stamp:
+                    self._refresh_flow_path(flow)
+                    break
+            else:
+                flow._path_epoch = self._cond_epoch
         flow._active = True
         self._active_flows.add(flow)
         for link in flow.links:
@@ -308,6 +359,48 @@ class FlowNetwork:
     def _capacity_changed(self, link):
         self._dirty_links.add(link)
         self._mark_dirty()
+
+    def _condition_changed(self, link):
+        """A link's loss rate or delay moved (the link-condition engine).
+
+        Active flows crossing the link get their path invariants
+        refreshed immediately and seed the next allocation pass (their
+        Mathis cap — and with it their component's max-min allocation —
+        may have moved).  Idle flows refresh lazily at activation via
+        the epoch stamps, so a burst of loss events on a quiet link
+        costs nothing per existing flow.
+        """
+        self._cond_epoch += 1
+        link._cond_stamp = self._cond_epoch
+        if link.flows:
+            for flow in link.flows:
+                self._refresh_flow_path(flow)
+            self._dirty_flows.update(link.flows)
+            self._mark_dirty()
+
+    def _refresh_flow_path(self, flow):
+        """Recompute one flow's path invariants from its links' current
+        conditions, then notify the transport (``on_path_change``).
+
+        The slow-start latch is reset rather than recomputed: the next
+        ``flow_cap`` call re-evaluates the (age-driven, monotone) window
+        against the new Mathis cap and re-latches ``ramp_done`` exactly
+        where a from-scratch flow of the same age would.
+        """
+        self.path_refreshes += 1
+        model = self.model
+        links = flow.links
+        flow.mathis_cap = model.mathis_cap(links)
+        flow.rtt = model.path_rtt(links)
+        flow.loss = model.path_loss(links)
+        flow.rto = model.retransmission_timeout(links)
+        flow.ramp_done = False
+        flow.ramp_binding = True
+        flow._path_epoch = self._cond_epoch
+        if flow._active:
+            self._ramping_flows.add(flow)
+        if flow.on_path_change is not None:
+            flow.on_path_change(flow)
 
     def _mark_dirty(self):
         self._dirty = True
@@ -715,6 +808,7 @@ class FlowNetwork:
             "components_allocated": components,
             "flows_allocated": self.flows_allocated,
             "fill_rounds": self.fill_rounds,
+            "path_refreshes": self.path_refreshes,
             "max_component_size": self.max_component_size,
             "mean_component_size": (
                 round(self.flows_allocated / components, 3) if components else 0.0

@@ -127,8 +127,12 @@ class Channel:
         self._event = None
         self.bytes_sent = 0
         self.closed = False
-        #: Path loss and the shared rng, cached off the hot delivery path
-        #: (both are fixed for the channel's lifetime).
+        #: Path loss and the shared rng, cached off the hot delivery
+        #: path.  The loss copy (and ``prop_delay``) track the flow's
+        #: path invariants: when a dynamic scenario mutates a traversed
+        #: link's loss rate or delay, the flow network refreshes the
+        #: flow and ``_path_changed`` re-reads the caches — so loss and
+        #: delay dynamics propagate mid-run exactly like capacity does.
         self._loss = flow.loss
         self._rng = network.rng
         #: When set, ``on_block_low(connection)`` fires the instant
@@ -136,6 +140,7 @@ class Channel:
         self.block_low_watermark = None
         self.on_block_low = None
         flow.on_rate_change = self._rate_changed
+        flow.on_path_change = self._path_changed
 
     # -- queue state queries used by protocols -------------------------------
 
@@ -236,6 +241,16 @@ class Channel:
                     self.head_remaining / rate, self._head_transmitted
                 )
 
+    def _path_changed(self, flow):
+        # A traversed link's loss rate or delay moved: re-read the
+        # cached copies.  ``flow.rtt`` is exactly ``2.0 * sum(delays)``,
+        # so halving it reproduces the one-way propagation delay the
+        # constructor summed, bit for bit.  Messages already in flight
+        # keep the delay they were launched with (they are physically on
+        # the old path), matching how rate changes only affect the head.
+        self._loss = flow.loss
+        self.prop_delay = flow.rtt * 0.5
+
     def _head_transmitted(self):
         self._event = None
         # _advance_progress inlined (runs once per transmitted message).
@@ -295,6 +310,7 @@ class Channel:
             self._queued_wire_bytes = 0
             self.network.flows.deactivate(self.flow)
         self.flow.on_rate_change = None
+        self.flow.on_path_change = None
         self.on_block_low = None
 
 

@@ -156,11 +156,15 @@ def test_summary_perf_counters_deterministic_and_equivalent(scenario_name):
         "components_allocated",
         "flows_allocated",
         "fill_rounds",
+        "path_refreshes",
         "max_component_size",
         "mean_component_size",
     }
     assert inc["events_processed"] == full["events_processed"]
     assert inc["reallocations"] == full["reallocations"]
+    # Path refreshes are driven by link-condition changes, not by how
+    # the allocator scopes its fills — identical across modes.
+    assert inc["path_refreshes"] == full["path_refreshes"]
     assert inc["components_allocated"] <= full["components_allocated"]
     assert inc["flows_allocated"] <= full["flows_allocated"]
     assert inc["fill_rounds"] <= full["fill_rounds"]

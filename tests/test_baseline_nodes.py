@@ -7,7 +7,7 @@ from repro.baselines.splitstream import (
     build_stripe_forest,
 )
 from repro.harness.experiment import run_experiment
-from repro.harness.systems import bittorrent_factory, bullet_factory
+from repro.harness.systems import bullet_factory
 from repro.sim.engine import Simulator
 from repro.sim.tcp import FlowNetwork
 from repro.sim.topology import mesh_topology

@@ -1,7 +1,5 @@
 """Unit tests for baseline-system building blocks."""
 
-import pytest
-
 from repro.baselines.bittorrent import Tracker
 from repro.baselines.splitstream import build_stripe_forest
 from repro.sim.engine import Simulator

@@ -5,11 +5,7 @@ peering handshakes, rejects, diff self-clocking with prefetch, the
 dead-weight safeguard, and source behaviour.
 """
 
-import pytest
-
 from repro.core.bullet_prime import BulletPrimeConfig, BulletPrimeNode
-from repro.harness.experiment import run_experiment
-from repro.harness.systems import bullet_prime_factory
 from repro.overlay.tree import build_random_tree
 from repro.sim.engine import Simulator
 from repro.sim.tcp import FlowNetwork
@@ -72,6 +68,7 @@ class TestPeeringMechanics:
         finished = sum(
             1 for n in nodes.values() if not n.is_source and n.state.complete
         )
+        assert rejects > 0, "the hard cap must actually force rejects"
         assert finished == 7, "rejects must not deadlock the download"
 
     def test_dead_weight_sender_dropped(self):

@@ -155,6 +155,49 @@ def test_cli_list(capsys):
     assert "ramp=30.0" in out  # flash_crowd
 
 
+def test_cli_list_shows_dynamics_scenarios(capsys):
+    # Acceptance: the new scenarios' Param schemas are visible.
+    code = main(["list", "--json"])
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    by_name = {e["name"]: e for e in doc["scenarios"]}
+    for name in ("gilbert_elliott", "asymmetric_squeeze", "lossy"):
+        assert name in by_name, name
+        assert by_name[name]["params"], f"{name} must expose its knobs"
+    ge = {p["name"]: p for p in by_name["gilbert_elliott"]["params"]}
+    assert ge["bad_loss"]["kind"] == "float"
+    assert ge["bad_loss"]["default"] == 0.05
+    squeeze = {p["name"] for p in by_name["asymmetric_squeeze"]["params"]}
+    assert {"period", "fraction", "factor", "floor", "hold"} <= squeeze
+    lossy_params = {p["name"]: p for p in by_name["lossy"]["params"]}
+    assert lossy_params["base"]["kind"] == "str"
+    assert lossy_params["base"]["default"] == "none"
+
+
+def test_cli_run_gilbert_elliott(capsys):
+    code = main(
+        ["run", "--system", "bulletprime", "--scenario", "gilbert_elliott",
+         "--nodes", "8", "--blocks", "16", "--json"]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["scenario"] == "gilbert_elliott"
+    assert doc["summary"]["finished"] is True
+
+
+def test_cli_run_multi_column_csv_trace(tmp_path, capsys):
+    path = tmp_path / "lte.csv"
+    path.write_text("time,bandwidth,loss\n2.0,100000,0.01\n")
+    code = main(
+        ["run", "--scenario", "trace", "--trace", str(path), "--nodes", "6",
+         "--blocks", "16", "--json"]
+    )
+    assert code == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["scenario"] == "trace_replay"
+    assert doc["summary"]["finished"] is True
+
+
 def test_cli_list_shows_aliases(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
@@ -201,6 +244,23 @@ def test_cli_sweep_json_and_store(tmp_path, capsys):
     lines = out_path.read_text().splitlines()
     assert len(lines) == 4
     assert json.loads(lines[0])["cell"]["system"] == "bullet_prime"
+
+
+def test_cli_sweep_quiet_suppresses_progress(tmp_path, capsys):
+    out_path = tmp_path / "results.jsonl"
+    code = main(SWEEP_FLAGS + ["--quiet", "--out", str(out_path)])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert captured.err == ""  # no [n/total] progress lines
+    assert out_path.exists()
+
+
+def test_cli_sweep_quiet_output_matches_loud(tmp_path, capsys):
+    quiet, loud = tmp_path / "quiet.jsonl", tmp_path / "loud.jsonl"
+    assert main(SWEEP_FLAGS + ["--quiet", "--out", str(quiet)]) == 0
+    assert main(SWEEP_FLAGS + ["--out", str(loud)]) == 0
+    capsys.readouterr()
+    assert quiet.read_bytes() == loud.read_bytes()
 
 
 def test_cli_sweep_workers_bit_identical(tmp_path, capsys):

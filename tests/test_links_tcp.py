@@ -4,7 +4,6 @@ import math
 
 import pytest
 
-from repro.common.units import MBPS, MS
 from repro.sim.engine import Simulator
 from repro.sim.links import Link
 from repro.sim.tcp import FlowNetwork, TcpModel

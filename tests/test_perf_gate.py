@@ -1,0 +1,206 @@
+"""Tests for the deterministic perf-counter regression gate."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness.perf_gate import (
+    GATE_COUNTERS,
+    baseline_from_ledger,
+    check_ledger,
+    update_baseline,
+)
+
+
+def _ledger(**overrides):
+    doc = {
+        "benchmark": "scenario_sweep",
+        "nodes": 10,
+        "blocks": 48,
+        "cells": 10,
+        "scenarios": ["churn", "none"],
+        "seeds": [2],
+        "serial_seconds": 0.5,
+        "perf_totals": {
+            "events_processed": 1000,
+            "reallocations": 200,
+            "fill_rounds": 300,
+            "timers_recycled": 900,
+            "timers_allocated": 100,
+        },
+    }
+    doc.update(overrides)
+    return doc
+
+
+class TestCheckLedger:
+    def test_identical_counters_pass(self):
+        ledger = _ledger()
+        baseline = baseline_from_ledger(ledger)
+        assert check_ledger(ledger, baseline) == []
+
+    def test_counter_drift_fails_with_delta(self):
+        baseline = baseline_from_ledger(_ledger())
+        drifted = _ledger()
+        drifted["perf_totals"]["events_processed"] = 1100
+        problems = check_ledger(drifted, baseline)
+        assert len(problems) == 1
+        assert "events_processed" in problems[0]
+        assert "+10.00%" in problems[0]
+
+    def test_wall_clock_fields_are_not_gated(self):
+        baseline = baseline_from_ledger(_ledger())
+        noisy = _ledger(serial_seconds=99.0)
+        noisy["perf_totals"]["timers_allocated"] = 12345  # ungated counter
+        assert check_ledger(noisy, baseline) == []
+
+    def test_scale_mismatch_reported_before_counters(self):
+        baseline = baseline_from_ledger(_ledger())
+        other_scale = _ledger(nodes=50)
+        other_scale["perf_totals"]["events_processed"] = 999999
+        problems = check_ledger(other_scale, baseline)
+        expected = "scale mismatch: nodes is 50, baseline was recorded at 10"
+        assert problems == [expected]
+
+    def test_missing_counter_is_drift(self):
+        baseline = baseline_from_ledger(_ledger())
+        broken = _ledger()
+        del broken["perf_totals"]["fill_rounds"]
+        problems = check_ledger(broken, baseline)
+        assert any("fill_rounds" in p for p in problems)
+
+    def test_truncated_baseline_fails_instead_of_passing_vacuously(self):
+        # Regression: the gate checks the union of GATE_COUNTERS and the
+        # recorded counters, so a hand-truncated baseline (or a grown
+        # GATE_COUNTERS) cannot silently stop gating a counter.
+        baseline = baseline_from_ledger(_ledger())
+        del baseline["counters"]["timers_recycled"]
+        problems = check_ledger(_ledger(), baseline)
+        assert any("timers_recycled" in p and "missing" in p for p in problems)
+
+    def test_baseline_without_counters_key_fails_cleanly(self, tmp_path):
+        ledger_path = self._tmp_json(tmp_path, "ledger.json", _ledger())
+        baseline = baseline_from_ledger(_ledger())
+        del baseline["counters"]
+        baseline_path = self._tmp_json(tmp_path, "baseline.json", baseline)
+        code = main(
+            [
+                "perf-gate",
+                "--ledger",
+                str(ledger_path),
+                "--baseline",
+                str(baseline_path),
+            ]
+        )
+        assert code == 1  # drift messages, not a traceback
+
+    @staticmethod
+    def _tmp_json(tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_baseline_requires_all_gated_counters(self):
+        bad = _ledger()
+        del bad["perf_totals"]["reallocations"]
+        with pytest.raises(ValueError, match="reallocations"):
+            baseline_from_ledger(bad)
+
+    def test_baseline_requires_all_scale_fields(self):
+        # A trimmed ledger must fail with a clean ValueError (the CLI
+        # maps it to exit 2), not a KeyError traceback.
+        bad = _ledger()
+        del bad["nodes"]
+        with pytest.raises(ValueError, match="scale fields.*nodes"):
+            baseline_from_ledger(bad)
+
+    def test_gate_counters_are_the_issue_contract(self):
+        assert set(GATE_COUNTERS) == {
+            "events_processed",
+            "reallocations",
+            "fill_rounds",
+            "timers_recycled",
+        }
+
+
+class TestPerfGateCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return path
+
+    def test_update_then_check_passes(self, tmp_path, capsys):
+        ledger = self._write(tmp_path, "ledger.json", _ledger())
+        baseline = tmp_path / "baseline.json"
+        args = ["perf-gate", "--ledger", str(ledger), "--baseline", str(baseline)]
+        assert main(args + ["--update"]) == 0
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "perf-counter gate ok" in out
+        assert "events_processed=1000" in out
+
+    def test_drift_fails_and_names_the_counter(self, tmp_path, capsys):
+        ledger_path = self._write(tmp_path, "ledger.json", _ledger())
+        baseline = tmp_path / "baseline.json"
+        base_args = [
+            "perf-gate",
+            "--ledger",
+            str(ledger_path),
+            "--baseline",
+            str(baseline),
+        ]
+        assert main(base_args + ["--update"]) == 0
+        drifted = _ledger()
+        drifted["perf_totals"]["fill_rounds"] += 1
+        drifted_path = self._write(tmp_path, "drifted.json", drifted)
+        code = main(
+            [
+                "perf-gate",
+                "--ledger",
+                str(drifted_path),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "fill_rounds" in err
+        assert "--update" in err  # tells the PR author how to accept
+
+    def test_missing_files_exit_2(self, tmp_path, capsys):
+        code = main(
+            [
+                "perf-gate",
+                "--ledger",
+                "/no/such.json",
+                "--baseline",
+                str(tmp_path / "b.json"),
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_committed_baseline_matches_gated_counter_set(self):
+        import pathlib
+
+        data_dir = pathlib.Path(__file__).parent / "data"
+        baseline_path = data_dir / "perf_counters_baseline.json"
+        committed = json.loads(baseline_path.read_text())
+        assert set(committed["counters"]) == set(GATE_COUNTERS)
+        assert committed["scale"]["nodes"] == 10
+        assert committed["scale"]["blocks"] == 48
+        # The baseline pins the scenario catalogue it was recorded over;
+        # registering a new scenario must re-record the baseline.
+        from repro.harness.registry import SCENARIOS
+
+        assert committed["scale"]["scenarios"] == SCENARIOS.names()
+
+
+def test_update_baseline_writes_sorted_json(tmp_path):
+    path = tmp_path / "b.json"
+    update_baseline(_ledger(), path)
+    text = path.read_text()
+    assert text.endswith("\n")
+    doc = json.loads(text)
+    assert doc == baseline_from_ledger(_ledger())

@@ -104,10 +104,13 @@ class TestSystemsRegistry:
 class TestScenariosRegistry:
     def test_catalogue_registered(self):
         assert SCENARIOS.names() == [
+            "asymmetric_squeeze",
             "cascading_cuts",
             "churn",
             "correlated_decreases",
             "flash_crowd",
+            "gilbert_elliott",
+            "lossy",
             "none",
             "oscillate",
             "trace_replay",

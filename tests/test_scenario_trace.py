@@ -58,7 +58,9 @@ class TestCorrelatedDecreases:
         losses = {pair: link.loss_rate for pair, link in topo.core.items()}
         correlated_decreases(sim, topo, seed=4, period=10.0)
         sim.run(until=60.0)
-        assert losses == {p: l.loss_rate for p, l in topo.core.items()}
+        assert losses == {
+            pair: link.loss_rate for pair, link in topo.core.items()
+        }
 
 
 class TestCascadingCuts:

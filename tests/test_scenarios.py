@@ -1,6 +1,7 @@
 """Tests for the scenario package: catalogue, combinators, trace replay."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.common.units import MBPS
 from repro.scenarios import (
@@ -9,6 +10,7 @@ from repro.scenarios import (
     Compose,
     CorrelatedDecreases,
     FlashCrowd,
+    GilbertElliott,
     Oscillate,
     Scenario,
     ScenarioContext,
@@ -400,3 +402,254 @@ class TestTraceRoundTrip:
         path.write_text('{"version": 99, "events": []}')
         with pytest.raises(ValueError, match="version"):
             read_trace(path)
+
+
+class TestMultiColumnTrace:
+    """The (time, bandwidth[, loss, delay]) trace format: loss and delay
+    events replay through the link-condition engine, and a multi-column
+    record -> replay -> record loop is bit-identical."""
+
+    def _record(self, scenario, recorder, seed=3, until=20.0):
+        sim = Simulator()
+        topo = mesh_topology(5, seed=seed)
+        ctx = ScenarioContext(sim, topo, source_id=0, seed=seed)
+        compose(scenario, recorder).install(ctx)
+        sim.run(until=until)
+        return topo
+
+    def test_loss_and_delay_events_replay(self):
+        ctx = _ctx(4)
+        events = [
+            {"t": 2.0, "link": "1->2", "loss": 0.07},
+            {"t": 3.0, "link": "*", "delay": 0.3},
+            {"t": 4.0, "link": "2->3", "capacity": 50_000.0, "loss": 0.01},
+        ]
+        TraceReplay(events=events).install(ctx)
+        ctx.sim.run(until=10.0)
+        assert ctx.topology.core[(1, 2)].loss_rate == 0.07
+        for _pair, link in sorted(ctx.topology.core.items()):
+            assert link.delay == 0.3
+        assert ctx.topology.core[(2, 3)].capacity == 50_000.0
+        assert ctx.topology.core[(2, 3)].loss_rate == 0.01
+
+    def test_event_validation_multi_column(self):
+        # loss-only and delay-only events are valid ...
+        TraceReplay(events=[{"t": 1.0, "link": "*", "loss": 0.1}])
+        TraceReplay(events=[{"t": 1.0, "link": "*", "delay": 0.1}])
+        # ... an event with no condition column is not ...
+        with pytest.raises(ValueError, match="at least one"):
+            TraceReplay(events=[{"t": 1.0, "link": "*"}])
+        # ... and capacity+scale are still mutually exclusive.
+        with pytest.raises(ValueError, match="both capacity and scale"):
+            TraceReplay(
+                events=[
+                    {"t": 1.0, "link": "*", "capacity": 1.0, "scale": 0.5}
+                ]
+            )
+
+    def test_multi_column_record_replay_round_trip(self, tmp_path):
+        # Drive all three knobs at once: oscillating capacity plus
+        # bursty loss (the loss flips also exercise per-link deltas).
+        driver = compose(
+            Oscillate(period=4.0, sample_period=1.0, seed=3),
+            GilbertElliott(
+                bad_loss=0.1, mean_good=3.0, mean_bad=3.0, seed=3
+            ),
+        )
+        recorder = TraceRecorder(
+            sample_period=1.0, start=0.25, record_loss=True, record_delay=True
+        )
+        self._record(driver, recorder)
+        kinds = set()
+        for event in recorder.events:
+            kinds.update(k for k in ("capacity", "loss", "delay") if k in event)
+        assert {"capacity", "loss"} <= kinds
+        path = recorder.save(tmp_path / "multi.trace.json")
+
+        second = TraceRecorder(
+            sample_period=1.0, start=0.25, record_loss=True, record_delay=True
+        )
+        self._record(TraceReplay(path=path), second)
+        assert second.events == recorder.events
+
+    def test_capacity_only_recorder_format_unchanged(self, tmp_path):
+        # Default recorder columns: exactly the legacy (time, bandwidth)
+        # events, even when loss moves underneath.
+        recorder = TraceRecorder(sample_period=1.0, start=0.25)
+        self._record(
+            compose(
+                Oscillate(period=4.0, sample_period=1.0, seed=3),
+                GilbertElliott(bad_loss=0.1, mean_good=2.0, seed=3),
+            ),
+            recorder,
+        )
+        for event in recorder.events:
+            assert set(event) == {"t", "link", "capacity"}
+
+
+class TestTraceRoundTripProperties:
+    """Property test: ANY multi-column schedule record -> replay ->
+    record round-trips bit-identically (the satellite contract for the
+    link-condition engine's trace path)."""
+
+    _event = st.fixed_dictionaries(
+        {
+            "t": st.integers(min_value=0, max_value=60).map(
+                lambda quarter: quarter / 4.0
+            ),
+            "link": st.sampled_from(["*", "0->1", "1->2", "3->0", "2->4"]),
+        },
+        optional={
+            "capacity": st.floats(
+                min_value=1e3, max_value=1e7, allow_nan=False
+            ),
+            "loss": st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+            "delay": st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        },
+    ).filter(lambda e: len(e) > 2)
+
+    @given(events=st.lists(_event, min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_record_replay_record_is_bit_identical(self, events):
+        def record(schedule):
+            sim = Simulator()
+            topo = mesh_topology(5, seed=11)
+            ctx = ScenarioContext(sim, topo, source_id=0, seed=11)
+            recorder = TraceRecorder(
+                sample_period=0.5,
+                start=0.125,
+                record_loss=True,
+                record_delay=True,
+            )
+            compose(TraceReplay(events=schedule), recorder).install(ctx)
+            sim.run(until=18.0)
+            return recorder.events
+
+        first = record(events)
+        second = record(first)
+        assert second == first
+
+    @given(events=st.lists(_event, min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_save_load_round_trip(self, events, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "t.json"
+        from repro.scenarios import write_trace
+
+        write_trace(path, events)
+        assert read_trace(path) == events
+
+
+class TestCsvTrace:
+    def test_csv_with_header_drives_all_knobs(self, tmp_path):
+        path = tmp_path / "lte.csv"
+        path.write_text(
+            "time,bandwidth,loss,delay\n"
+            "0.0,250000,0.0,0.05\n"
+            "5.0,50000,0.02,0.08\n"
+        )
+        events = read_trace(path)
+        assert events == [
+            {"t": 0.0, "link": "*", "capacity": 250000.0, "loss": 0.0,
+             "delay": 0.05},
+            {"t": 5.0, "link": "*", "capacity": 50000.0, "loss": 0.02,
+             "delay": 0.08},
+        ]
+        ctx = _ctx(4)
+        TraceReplay(events=events).install(ctx)
+        ctx.sim.run(until=10.0)
+        for _pair, link in sorted(ctx.topology.core.items()):
+            assert link.capacity == 50000.0
+            assert link.loss_rate == 0.02
+            assert link.delay == 0.08
+
+    def test_csv_without_header_is_positional(self, tmp_path):
+        path = tmp_path / "bw.csv"
+        path.write_text("0.0,100000\n2.5,75000\n# trailing comment\n")
+        assert read_trace(path) == [
+            {"t": 0.0, "link": "*", "capacity": 100000.0},
+            {"t": 2.5, "link": "*", "capacity": 75000.0},
+        ]
+
+    def test_csv_partial_columns(self, tmp_path):
+        path = tmp_path / "loss_only.csv"
+        path.write_text("time,loss\n1.0,0.05\n")
+        assert read_trace(path) == [{"t": 1.0, "link": "*", "loss": 0.05}]
+
+    def test_csv_empty_fields_stay_positional(self, tmp_path):
+        # Regression: a blank cell is a missing sample for ITS column —
+        # it must not shift later columns left (a missing bandwidth
+        # reading once turned the loss probability into a 0.05 B/s
+        # capacity).
+        path = tmp_path / "gaps.csv"
+        path.write_text("time,bandwidth,loss\n1.0,,0.05\n2.0,80000,\n")
+        assert read_trace(path) == [
+            {"t": 1.0, "link": "*", "loss": 0.05},
+            {"t": 2.0, "link": "*", "capacity": 80000.0},
+        ]
+
+    def test_csv_outage_samples_clamp_to_simulator_invariants(self, tmp_path):
+        # Measured traces contain outages; zero bandwidth clamps to a
+        # 1 B/s trickle and loss clamps below 1, instead of crashing
+        # mid-run against the positive-capacity / loss<1 invariants.
+        path = tmp_path / "outage.csv"
+        path.write_text("time,bandwidth,loss\n1.0,0,1.0\n")
+        events = read_trace(path)
+        assert events == [
+            {"t": 1.0, "link": "*", "capacity": 1.0, "loss": 0.999999}
+        ]
+        ctx = _ctx(4)
+        TraceReplay(events=events).install(ctx)
+        ctx.sim.run(until=5.0)  # applies without raising
+
+    def test_csv_negative_values_fail_with_line_context(self, tmp_path):
+        for column, row in (
+            ("bandwidth", "1.0,-5,0.0"),
+            ("loss", "1.0,100,-0.1"),
+        ):
+            path = tmp_path / f"neg_{column}.csv"
+            path.write_text(f"time,bandwidth,loss\n{row}\n")
+            with pytest.raises(ValueError, match=f"line 2.*negative {column}"):
+                read_trace(path)
+
+    def test_csv_too_many_fields_fail(self, tmp_path):
+        path = tmp_path / "wide.csv"
+        path.write_text("time,bandwidth\n1.0,100,0.05\n")
+        with pytest.raises(ValueError, match="fields"):
+            read_trace(path)
+
+    def test_csv_row_without_time_fails(self, tmp_path):
+        path = tmp_path / "no_time.csv"
+        path.write_text("time,bandwidth\n,100\n")
+        with pytest.raises(ValueError, match="without a time"):
+            read_trace(path)
+
+    def test_csv_row_with_only_time_fails_with_line_context(self, tmp_path):
+        # Regression: an all-blank sample row must fail here with the
+        # file/line in the message, not later inside TraceReplay.
+        path = tmp_path / "empty_row.csv"
+        path.write_text("time,bandwidth,loss\n1.0,,\n")
+        with pytest.raises(ValueError, match="line 2.*no.*condition"):
+            read_trace(path)
+
+    def test_csv_bad_header_and_rows_fail(self, tmp_path):
+        bad_header = tmp_path / "bad1.csv"
+        bad_header.write_text("epoch,bw\n1,2\n")
+        with pytest.raises(ValueError, match="header"):
+            read_trace(bad_header)
+        bad_row = tmp_path / "bad2.csv"
+        bad_row.write_text("1.0,100\nwat,200\n")
+        with pytest.raises(ValueError, match="non-numeric"):
+            read_trace(bad_row)
+
+    def test_csv_replays_through_the_cli_scenario(self, tmp_path):
+        # The registered trace_replay scenario accepts a CSV path.
+        from repro.harness.registry import SCENARIOS
+
+        path = tmp_path / "t.csv"
+        path.write_text("time,bandwidth\n1.0,100000\n")
+        scenario = SCENARIOS.build("trace_replay", path=str(path))
+        ctx = _ctx(4)
+        scenario.install(ctx)
+        ctx.sim.run(until=2.0)
+        for _pair, link in sorted(ctx.topology.core.items()):
+            assert link.capacity == 100000.0
