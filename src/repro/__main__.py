@@ -14,6 +14,10 @@ Registry-driven runs — any system under any scenario::
         --nodes 40 --blocks 320 --json
     python -m repro run --system bittorrent --scenario churn \\
         --topology planetlab
+    python -m repro run --system bullet_prime --scenario crash \\
+        --nodes 20 --blocks 64
+    python -m repro run --system bullet_prime --scenario chaos \\
+        --nodes 20 --blocks 64 --json
 
 Parameter sweeps — grids over systems x scenarios (and their knobs) x
 topologies x scales x seeds, executed across a worker pool::
@@ -147,6 +151,21 @@ def _parse_run_args(argv):
         help="trace file for --scenario trace_replay",
     )
     parser.add_argument(
+        "--watchdog-window",
+        type=float,
+        default=60.0,
+        help="liveness window in simulated seconds: once any fault "
+        "actuates, a run making no block-delivery progress for this "
+        "long is failed instead of hanging to --max-time",
+    )
+    parser.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the runtime invariant checker (no events on dead "
+        "nodes, no delivery on closed connections); 'run' enables it "
+        "by default, unlike the matrix/benchmark paths",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
     parser.add_argument(
@@ -192,9 +211,25 @@ def _run_command(argv):
         scenario=scenario,
         max_time=args.max_time,
         seed=args.seed,
+        watchdog_window=args.watchdog_window,
+        check_invariants=not args.no_invariants,
     )
     elapsed = time.time() - started
     summary = result.summary()
+    failed_nodes = sorted(result.failed_nodes)
+    fd_counters = {
+        key: summary["perf"][key]
+        for key in (
+            "fd_retries",
+            "fd_suspects",
+            "fd_rerequests",
+            "fd_rejoins",
+            "watchdog_fired",
+        )
+    }
+    invariant_report = (
+        result.invariants.report() if result.invariants is not None else None
+    )
     profile = None
     if args.profile:
         profile = dict(result.perf_stats())
@@ -211,8 +246,11 @@ def _run_command(argv):
             "blocks": args.blocks,
             "seed": args.seed,
             "summary": summary,
+            "failed_nodes": failed_nodes,
             "wall_seconds": round(elapsed, 3),
         }
+        if invariant_report is not None:
+            doc["invariants"] = invariant_report
         if profile is not None:
             doc["profile"] = profile
         print(json.dumps(doc, indent=1, sort_keys=True))
@@ -227,6 +265,27 @@ def _run_command(argv):
         print(f"  {'finished':14s} {summary['finished']}")
         print(f"  {'duplicates':14s} {summary['duplicates']}")
         print(f"  {'control bytes':14s} {summary['control_bytes']}")
+        if failed_nodes or any(fd_counters.values()):
+            print(f"  {'failed nodes':14s} {failed_nodes}")
+            for key in (
+                "fd_retries",
+                "fd_suspects",
+                "fd_rerequests",
+                "fd_rejoins",
+            ):
+                print(f"  {key:14s} {fd_counters[key]}")
+            watchdog = "FIRED" if fd_counters["watchdog_fired"] else "clean"
+            print(f"  {'watchdog':14s} {watchdog}")
+        if invariant_report is not None:
+            state = (
+                "ok"
+                if invariant_report["ok"]
+                else f"{len(invariant_report['violations'])} violation(s)"
+            )
+            print(
+                f"  {'invariants':14s} {state} "
+                f"({invariant_report['dispatches_checked']} dispatches checked)"
+            )
         if profile is not None:
             print("profile:")
             for key in (
@@ -247,6 +306,10 @@ def _run_command(argv):
             ):
                 print(f"  {key:22s} {profile[key]}")
         print(f"[completed in {elapsed:.1f}s]")
+    if invariant_report is not None and not invariant_report["ok"]:
+        for violation in invariant_report["violations"][:10]:
+            print(f"invariant violation: {violation}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -270,7 +333,7 @@ def _parse_sweep_args(argv):
         "--golden-matrix",
         action="store_true",
         help="use the built-in acceptance matrix: every system x every "
-        "scenario x seeds 1,3,5,7 on the 8-node mesh (160 cells)",
+        "scenario x seeds 1,3,5,7 on the 8-node mesh (224 cells)",
     )
     parser.add_argument(
         "--systems", default=None, help="comma-separated system names/aliases"

@@ -81,6 +81,24 @@ class BulletPrimeConfig:
     # Source push.
     source_push_window: int = 2
 
+    # Failure detection.  Dormant (zero timers, zero events) until the
+    # fault injector arms it network-wide at the first real fault; the
+    # knobs below only matter from that point on.
+    #: A request outstanding past ``fd_rto_multiple * max(rtt, rto)``
+    #: with no data arriving triggers a retry round.
+    fd_rto_multiple: float = 4.0
+    #: Retry rounds (with exponential backoff + jitter) before the peer
+    #: is declared dead and its in-flight blocks re-requested elsewhere.
+    fd_max_retries: int = 2
+    #: Floor on the suspicion timeout, so near-zero-RTT paths do not
+    #: thrash the detector.
+    fd_min_timeout: float = 2.0
+    #: Handshakes to crashed nodes black-hole; give up after this long.
+    fd_connect_timeout: float = 5.0
+    #: RanSub distribute silence (in epochs) before the tree parent is
+    #: presumed dead and the node climbs toward the root.
+    fd_liveness_epochs: float = 3.0
+
     seed: int = 0
 
     def policy_pair(self):
@@ -109,6 +127,10 @@ class _SenderState:
         "epoch_bw",
         "idle_epochs",
         "limit",
+        "last_data_at",
+        "fd_timer",
+        "fd_armed_at",
+        "fd_retries",
     )
 
     def __init__(self, conn, peer, controller):
@@ -127,6 +149,13 @@ class _SenderState:
         #: controller reports a change, so the per-block pump reads an
         #: attribute instead of re-deriving the ceiling.
         self.limit = controller.limit
+        #: Failure-detector state: when data last arrived, the pending
+        #: suspicion timer (None while disarmed), the arming instant, and
+        #: how many retry rounds have fired without progress.
+        self.last_data_at = 0.0
+        self.fd_timer = None
+        self.fd_armed_at = 0.0
+        self.fd_retries = 0
 
 
 class _ReceiverState:
@@ -181,6 +210,14 @@ class BulletPrimeNode(OverlayProtocol):
         self._pending_senders = set()  # peer ids with connects in flight
         #: Blocks requested from any sender (prevents duplicate requests).
         self.requested = set()
+        #: Blocks stranded in flight when a sender was declared dead;
+        #: membership tags the re-request so it is counted once.
+        self._orphaned = set()
+        #: True while a tree (re-)attach handshake is in flight.
+        self._tree_connecting = False
+        #: Set when a repair or restart detaches us from the tree; the
+        #: next successful attach counts as a rejoin.
+        self._fd_rejoin_pending = False
 
         self.tree_conns = {}  # neighbor id -> conn
         self._tree_parent_conn = None
@@ -256,7 +293,7 @@ class BulletPrimeNode(OverlayProtocol):
             self.trace.node_started(self.node_id)
         self._tree_attach = self.tree.parent_of(self.node_id)
         if self._tree_attach is not None:
-            self.connect(self._tree_attach, self._tree_parent_connected)
+            self._connect_tree(self._tree_attach)
         if self.node_id == self.tree.root:
             self.ransub.start_root()
         if self.is_source and self.state.complete:
@@ -264,7 +301,24 @@ class BulletPrimeNode(OverlayProtocol):
                 self.trace.completed(self.node_id)
             self.completed_at = self.sim.now
 
+    def _connect_tree(self, target):
+        # With detection armed, a handshake to a crashed ancestor must
+        # not strand the whole subtree: time it out and climb further.
+        self._tree_connecting = True
+        self.connect(
+            target,
+            self._tree_parent_connected,
+            timeout=self.config.fd_connect_timeout if self._fd_enabled else None,
+            on_timeout=self._tree_connect_timed_out,
+        )
+
+    def _tree_connect_timed_out(self):
+        self._tree_connecting = False
+        self.failure_stats["suspects"] += 1
+        self._repair_tree()
+
     def _tree_parent_connected(self, conn):
+        self._tree_connecting = False
         if conn.closed:
             # The attach target died during the handshake: climb on.
             self._repair_tree()
@@ -272,6 +326,9 @@ class BulletPrimeNode(OverlayProtocol):
         self._tree_parent_conn = conn
         self.tree_conns[self._tree_attach] = conn
         self.ransub.parent_conn = conn
+        if self._fd_rejoin_pending:
+            self._fd_rejoin_pending = False
+            self.failure_stats["rejoins"] += 1
         conn.send(
             Message("bp_tree_hello", payload={"node": self.node_id}, size=16)
         )
@@ -294,8 +351,10 @@ class BulletPrimeNode(OverlayProtocol):
             ancestor = self.tree.root
         if ancestor is None:
             return  # we would be re-attaching to ourselves (we are root)
+        if self._fd_enabled:
+            self._fd_rejoin_pending = True
         self._tree_attach = ancestor
-        self.connect(ancestor, self._tree_parent_connected)
+        self._connect_tree(ancestor)
 
     # -- connection classification ---------------------------------------------------
 
@@ -326,6 +385,109 @@ class BulletPrimeNode(OverlayProtocol):
                 self._repair_tree()
             if self.is_source and self.pusher is not None:
                 self.pusher.remove_child(conn)
+
+    # -- failure detection (armed by the fault injector) ------------------------------
+
+    def fault_detection_started(self):
+        """Arm the failure detectors (idempotent, network-wide event).
+
+        Two detectors cover the two ways a silent crash can starve this
+        node: the *sender detector* (a block request outstanding past a
+        multiple of the path RTO with no data arriving) and the *tree
+        heartbeat* (RanSub distribute silence means the path to the root
+        is gone).  Both are pure additions to the event timeline — in
+        fault-free runs neither ever schedules anything.
+        """
+        if self._fd_enabled or self.stopped:
+            return
+        self._fd_enabled = True
+        for conn in list(self.senders):
+            self._arm_sender_detector(conn)
+        if self.node_id != self.tree.root:
+            # Start the heartbeat clock now: silence is only meaningful
+            # from the moment we began watching.
+            self.ransub.last_distribute_at = self.sim.now
+            self.periodic(self.config.ransub_epoch, self._check_tree_liveness)
+
+    def _fd_timeout(self, sender):
+        conn = sender.conn
+        base = max(
+            self.config.fd_rto_multiple * max(conn.rtt, conn.rto),
+            self.config.fd_min_timeout,
+        )
+        # Exponential backoff per retry round, jittered so a wave of
+        # detectors armed by the same fault does not fire in lockstep.
+        return base * (2.0**sender.fd_retries) * (1.0 + 0.1 * self.rng.random())
+
+    def _arm_sender_detector(self, conn):
+        sender = self.senders.get(conn)
+        if sender is None or not sender.outstanding or sender.fd_timer is not None:
+            return
+        sender.fd_armed_at = self.sim.now
+        sender.fd_timer = self.schedule(
+            self._fd_timeout(sender),
+            lambda: self._sender_detector_fired(conn),
+        )
+
+    def _sender_detector_fired(self, conn):
+        sender = self.senders.get(conn)
+        if sender is None:
+            return
+        sender.fd_timer = None
+        if not sender.outstanding or conn.closed or self.state.complete:
+            return
+        if sender.last_data_at >= sender.fd_armed_at:
+            # Data arrived since arming: alive, just slow.  Reset the
+            # retry ladder and keep watching.
+            sender.fd_retries = 0
+            self._arm_sender_detector(conn)
+            return
+        if sender.fd_retries < self.config.fd_max_retries:
+            # Retry round: re-send every outstanding request and back off.
+            sender.fd_retries += 1
+            self.failure_stats["retries"] += 1
+            for block in sorted(sender.outstanding):
+                conn.send(
+                    Message(
+                        "bp_request",
+                        payload={
+                            "block": block,
+                            "incoming_bw": self._epoch_incoming_bw,
+                        },
+                        size=REQUEST_WIRE_BYTES,
+                    )
+                )
+            self._arm_sender_detector(conn)
+            return
+        # Out of retries: the peer is dead to us.  Orphan its in-flight
+        # blocks (so their re-request elsewhere is counted) and drop it —
+        # _drop_sender releases the blocks and re-pumps the other senders,
+        # which immediately re-request them from alternate mesh peers.
+        self.failure_stats["suspects"] += 1
+        self._orphaned.update(sender.outstanding)
+        self._drop_sender(conn, initiated=True)
+
+    def _check_tree_liveness(self):
+        if self._tree_connecting:
+            return True  # re-attach already in progress
+        window = self.config.fd_liveness_epochs * self.config.ransub_epoch
+        if self.sim.now - self.ransub.last_distribute_at < window:
+            return True
+        # No distribute wave for several epochs: the parent (or the path
+        # above it) is dead.  Self-close never invokes connection_closed
+        # locally, so detach bookkeeping happens here before climbing.
+        self.failure_stats["suspects"] += 1
+        self.ransub.last_distribute_at = self.sim.now
+        conn = self._tree_parent_conn
+        if conn is not None and not conn.closed:
+            conn.close()
+        for node, tree_conn in list(self.tree_conns.items()):
+            if tree_conn is conn:
+                self.tree_conns.pop(node)
+        self._tree_parent_conn = None
+        self.ransub.parent_conn = None
+        self._repair_tree()
+        return True
 
     # -- RanSub summaries and peering decisions ---------------------------------------
 
@@ -427,7 +589,17 @@ class BulletPrimeNode(OverlayProtocol):
         candidates.sort(key=lambda pair: (-pair[0], pair[1]))
         for _usefulness, peer in candidates[:want]:
             self._pending_senders.add(peer)
-            self.connect(peer, lambda conn, p=peer: self._sender_connected(conn, p))
+            self.connect(
+                peer,
+                lambda conn, p=peer: self._sender_connected(conn, p),
+                timeout=self.config.fd_connect_timeout if self._fd_enabled else None,
+                on_timeout=lambda p=peer: self._sender_connect_timed_out(p),
+            )
+
+    def _sender_connect_timed_out(self, peer):
+        # RanSub advertised a peer that died before we reached it.
+        self._pending_senders.discard(peer)
+        self.failure_stats["suspects"] += 1
 
     def _estimate_useful(self, summary):
         """Expected count of blocks this candidate has that we want."""
@@ -461,6 +633,9 @@ class BulletPrimeNode(OverlayProtocol):
         state = self.senders.pop(conn, None)
         if state is None:
             return
+        if state.fd_timer is not None:
+            state.fd_timer.cancel()
+            state.fd_timer = None
         for block in state.outstanding:
             self.requested.discard(block)
         self.avail.remove_sender(conn)
@@ -591,6 +766,7 @@ class BulletPrimeNode(OverlayProtocol):
         pushed = message.payload.get("pushed", False)
         sender = self.senders.get(conn)
         if sender is not None and not pushed:
+            sender.last_data_at = self.sim.now
             sender.outstanding.discard(block)
             self.requested.discard(block)
             sender.controller.observe_arrival(
@@ -681,9 +857,14 @@ class BulletPrimeNode(OverlayProtocol):
             block = self.avail.pick(conn, self._useful)
             if block is None:
                 self._maybe_request_diff(sender)
-                return
+                break
             sender.outstanding.add(block)
             self.requested.add(block)
+            if self._orphaned and block in self._orphaned:
+                # A block a dead sender owed us, now re-requested from an
+                # alternate peer.
+                self._orphaned.discard(block)
+                self.failure_stats["rerequests"] += 1
             if sender.marked_block == "next":
                 sender.marked_block = block
             self.stats["requests_sent"] += 1
@@ -697,13 +878,17 @@ class BulletPrimeNode(OverlayProtocol):
                     size=REQUEST_WIRE_BYTES,
                 )
             )
-        # Prefetch availability: ask for a diff when we are *about to*
-        # run out of known-useful blocks from this sender (paper
-        # section 3.3.4), hiding the diff round trip instead of idling
-        # the pipe when the candidate list empties.  The early-exit form
-        # stops scanning once it is clear no diff is needed yet.
-        if self.avail.prefetch_needed(conn, limit, self._useful):
-            self._maybe_request_diff(sender)
+        else:
+            # Prefetch availability: ask for a diff when we are *about
+            # to* run out of known-useful blocks from this sender (paper
+            # section 3.3.4), hiding the diff round trip instead of
+            # idling the pipe when the candidate list empties.  The
+            # early-exit form stops scanning once it is clear no diff is
+            # needed yet.
+            if self.avail.prefetch_needed(conn, limit, self._useful):
+                self._maybe_request_diff(sender)
+        if self._fd_enabled and sender.outstanding and sender.fd_timer is None:
+            self._arm_sender_detector(conn)
 
     def _maybe_request_diff(self, sender):
         if sender.diff_request_pending or sender.conn.closed:

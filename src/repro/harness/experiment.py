@@ -10,6 +10,7 @@ limit).  The runner wires them to a fresh simulator and returns an
 import gc
 
 from repro.common.rng import split_rng
+from repro.harness.faults import FaultInjector, LivenessWatchdog
 from repro.overlay.tree import build_random_tree
 from repro.scenarios.base import Scenario, ScenarioContext
 from repro.sim.engine import Simulator
@@ -29,10 +30,44 @@ def _resolve_scenario(scenario):
     return scenario
 
 
+def _validated_failure_schedule(failure_schedule, topology, source_id):
+    """Reject malformed schedules with a clear error, not misbehavior."""
+    entries = []
+    seen = set()
+    for entry in failure_schedule:
+        try:
+            fail_time, node_id = entry
+        except (TypeError, ValueError):
+            raise ValueError(
+                "failure_schedule entries must be (time, node_id) pairs, "
+                f"got {entry!r}"
+            ) from None
+        fail_time = float(fail_time)
+        if fail_time != fail_time:  # NaN
+            raise ValueError("failure_schedule contains a NaN time")
+        if fail_time < 0:
+            raise ValueError(
+                f"failure_schedule time must be >= 0, got {fail_time}"
+            )
+        if node_id == source_id:
+            raise ValueError("the source cannot be failed (it is the data)")
+        if node_id not in topology.nodes:
+            raise ValueError(
+                f"failure_schedule names unknown node {node_id!r}"
+            )
+        if node_id in seen:
+            raise ValueError(
+                f"failure_schedule lists node {node_id!r} more than once"
+            )
+        seen.add(node_id)
+        entries.append((fail_time, node_id))
+    return tuple(entries)
+
+
 class ExperimentResult:
     """Everything a figure needs from one run."""
 
-    def __init__(self, trace, nodes, sim, finished, flows=None):
+    def __init__(self, trace, nodes, sim, finished, flows=None, extra_perf=None):
         self.trace = trace
         self.nodes = nodes
         self.sim = sim
@@ -41,6 +76,10 @@ class ExperimentResult:
         #: The :class:`~repro.sim.tcp.FlowNetwork` the run used (for
         #: allocator perf counters; may be None for hand-built results).
         self.flows = flows
+        #: Harness-level counters merged into :meth:`perf_stats` — the
+        #: failure-handling totals (detector retries/suspects, block
+        #: re-requests, tree rejoins) and whether the watchdog fired.
+        self.extra_perf = extra_perf
 
     def completion_cdf(self):
         return self.trace.completion_cdf()
@@ -65,6 +104,8 @@ class ExperimentResult:
         stats = dict(self.sim.perf_stats())
         if self.flows is not None:
             stats.update(self.flows.perf_stats())
+        if self.extra_perf:
+            stats.update(self.extra_perf)
         return stats
 
     def summary(self):
@@ -93,6 +134,8 @@ def run_experiment(
     check_period=1.0,
     failure_schedule=(),
     flow_allocator="incremental",
+    watchdog_window=60.0,
+    check_invariants=False,
 ):
     """Run one dissemination to completion.
 
@@ -117,9 +160,26 @@ def run_experiment(
         non-source node has completed.
     failure_schedule:
         Optional ``[(time, node_id), ...]``: at each time the node is
-        stopped (its connections close, its timers die) — the paper's
-        section-1 churn/reliability scenario.  Failed nodes are excluded
-        from the completion condition unless they finished earlier.
+        *silently crashed* (connections aborted without notice, timers
+        die, handshakes black-hole) — the paper's section-1
+        churn/reliability scenario.  Validated up front (unknown or
+        duplicate nodes, negative/NaN times, and the source are
+        rejected) and installed as a thin wrapper over the ``crash``
+        scenario, composed with ``scenario`` when both are given.
+        Failed nodes are excluded from the completion condition unless
+        they finished earlier.
+    watchdog_window:
+        Liveness window in simulated seconds: once any fault actuates,
+        a run making no block-delivery progress for this long is failed
+        (stopped with ``finished=False`` and ``watchdog_fired=1``)
+        instead of hanging to ``max_time``.  Fault-free runs never arm
+        the watchdog.
+    check_invariants:
+        When True, wrap every node with the
+        :class:`repro.harness.invariants.InvariantChecker` (no events
+        on dead nodes, no delivery on closed connections); the checker
+        is returned as ``result.invariants``.  Off by default — the
+        matrix and benchmarks run without the wrapper overhead.
     flow_allocator:
         ``"incremental"`` (default) re-runs progressive filling only
         over dirty connected components; ``"full"`` recomputes every
@@ -141,8 +201,41 @@ def run_experiment(
         topology.nodes, root=source_id, fanout=tree_fanout, seed=seed
     )
     nodes = node_factory(network, tree, source_id, trace)
-    start_delays = {}
+
+    checker = None
+    if check_invariants:
+        from repro.harness.invariants import InvariantChecker
+
+        checker = InvariantChecker(network)
+        for node in nodes.values():
+            checker.wrap(node)
+    watchdog = LivenessWatchdog(sim, trace, window=watchdog_window)
+    injector = FaultInjector(
+        sim,
+        network,
+        topology,
+        nodes,
+        trace,
+        source_id,
+        watchdog=watchdog,
+        invariants=checker,
+    )
+
     scenario = _resolve_scenario(scenario)
+    if failure_schedule:
+        # Compat path: the explicit schedule becomes a crash scenario so
+        # the silent-failure semantics, detector arming, and watchdog
+        # all come from the one fault-injection pipeline.
+        from repro.scenarios.combinators import Compose
+        from repro.scenarios.failures import Crash
+
+        crash = Crash(
+            schedule=_validated_failure_schedule(
+                failure_schedule, topology, source_id
+            )
+        )
+        scenario = crash if scenario is None else Compose(scenario, crash)
+    start_delays = {}
     if scenario is not None:
         if isinstance(scenario, Scenario):
             ctx = ScenarioContext(
@@ -151,6 +244,7 @@ def run_experiment(
                 nodes=nodes,
                 source_id=source_id,
                 seed=seed,
+                faults=injector,
             )
             scenario.install(ctx)
             start_delays = ctx.start_delays
@@ -163,34 +257,16 @@ def run_experiment(
         else:
             node.start()
 
-    failed = set()
-
-    def kill(node_id):
-        failed.add(node_id)
-        nodes[node_id].stop()
-
-    # Same-instant failures share one heap entry via schedule_batch;
-    # within a batch the kills run in schedule order, exactly as the
-    # individually scheduled timers would have.
-    kills_by_time = {}
-    for fail_time, node_id in failure_schedule:
-        if node_id == source_id:
-            raise ValueError("the source cannot be failed (it is the data)")
-        kills_by_time.setdefault(fail_time, []).append(node_id)
-    for fail_time, node_ids in kills_by_time.items():
-        if len(node_ids) == 1:
-            sim.schedule_at(fail_time, kill, node_ids[0])
-        else:
-            sim.schedule_batch(
-                fail_time - sim.now, [(kill, node_id) for node_id in node_ids]
-            )
-
     receivers = [n for n in topology.nodes if n != source_id]
 
     def survivors():
-        return [r for r in receivers if r not in failed]
+        return [r for r in receivers if r not in injector.failed]
 
     def check_done():
+        if injector.pending_restarts:
+            # A crashed node is coming back: the run is not over even if
+            # every current survivor already finished.
+            return True
         if all(r in trace.completion_times for r in survivors()):
             sim.stop()
             return False
@@ -210,8 +286,27 @@ def run_experiment(
     finally:
         if gc_was_enabled:
             gc.enable()
-    finished = all(r in trace.completion_times for r in survivors())
-    result = ExperimentResult(trace, nodes, sim, finished, flows=flows)
+    finished = not injector.pending_restarts and all(
+        r in trace.completion_times for r in survivors()
+    )
+    fd_totals = {"retries": 0, "suspects": 0, "rerequests": 0, "rejoins": 0}
+    for node in nodes.values():
+        for key, value in node.failure_stats.items():
+            fd_totals[key] += value
+    for key, value in injector.salvaged_stats.items():
+        fd_totals[key] += value
+    extra_perf = {
+        "fd_retries": fd_totals["retries"],
+        "fd_suspects": fd_totals["suspects"],
+        "fd_rerequests": fd_totals["rerequests"],
+        "fd_rejoins": fd_totals["rejoins"],
+        "watchdog_fired": 1 if watchdog.fired else 0,
+    }
+    result = ExperimentResult(
+        trace, nodes, sim, finished, flows=flows, extra_perf=extra_perf
+    )
     result.source_id = source_id
-    result.failed_nodes = failed
+    result.failed_nodes = injector.failed
+    result.watchdog = watchdog
+    result.invariants = checker
     return result

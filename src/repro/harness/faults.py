@@ -1,0 +1,265 @@
+"""Fault injection: node crashes, restarts, partitions, and liveness.
+
+The :class:`FaultInjector` is the one actuation point for node-level
+failures.  Scenarios reach it through the
+:class:`~repro.scenarios.base.ScenarioContext` actuators
+(``fail_node`` / ``restart_node`` / ``partition``); the experiment
+harness builds one per run and reads its ``failed`` /
+``pending_restarts`` sets for the completion condition.
+
+Failure semantics are *silent*: a crashed node aborts every connection
+without notifying peers (no FINs cross the wire) and its endpoint
+black-holes handshakes, so the rest of the overlay can only learn of the
+death through its own failure detectors.  The injector therefore arms
+detection network-wide — ``Network.fault_detection`` plus each node's
+``fault_detection_started()`` hook and the :class:`LivenessWatchdog` —
+at the **first** actual fault actuation.  Fault-free runs (and a
+``chaos`` scenario with rate 0) never arm anything, which is what keeps
+their event timelines bit-identical to the legacy golden matrix.
+"""
+
+__all__ = ["FaultInjector", "LivenessWatchdog"]
+
+
+class LivenessWatchdog:
+    """Fails a run instead of letting it hang to ``max_time``.
+
+    Progress is defined as a fresh block arriving *anywhere* in the
+    experiment (``TraceCollector.last_arrival_time``).  Once armed, the
+    watchdog checks twice per window; if no progress happened for a full
+    ``window`` simulated seconds it records the firing and stops the
+    simulation — the harness then reports ``finished=False`` and
+    ``watchdog_fired=1`` instead of silently burning simulated hours.
+    """
+
+    def __init__(self, sim, trace, window=60.0):
+        if window <= 0:
+            raise ValueError(f"watchdog window must be > 0, got {window}")
+        self.sim = sim
+        self.trace = trace
+        self.window = window
+        self.armed = False
+        self.armed_at = None
+        self.fired = False
+        self.fired_at = None
+
+    def arm(self):
+        """Start watching (idempotent); called by the fault injector."""
+        if self.armed:
+            return
+        self.armed = True
+        self.armed_at = self.sim.now
+        self.sim.schedule_periodic(self.window / 2.0, self._check)
+
+    def _check(self):
+        if self.fired:
+            return False
+        progress = max(self.trace.last_arrival_time, self.armed_at)
+        if self.sim.now - progress >= self.window:
+            self.fired = True
+            self.fired_at = self.sim.now
+            self.sim.stop()
+            return False
+        return True
+
+
+class FaultInjector:
+    """Per-run fault actuator shared by scenarios and the harness.
+
+    Parameters
+    ----------
+    sim, network, topology, trace:
+        The run's simulator, transport network, topology, and trace
+        collector.
+    nodes:
+        The ``{node_id: protocol}`` mapping returned by the system
+        factory.  Restarts require it to expose ``rebuild(node_id)``
+        (see :class:`repro.harness.systems.NodeSet`); pure-crash use
+        works with any mapping.
+    source_id:
+        The data source — it can never be failed.
+    watchdog:
+        The :class:`LivenessWatchdog` armed alongside detection.
+    invariants:
+        Optional :class:`repro.harness.invariants.InvariantChecker`;
+        restarted nodes are re-wrapped so the dead-node checks keep
+        covering them.
+    """
+
+    def __init__(
+        self,
+        sim,
+        network,
+        topology,
+        nodes,
+        trace,
+        source_id,
+        watchdog=None,
+        invariants=None,
+    ):
+        self.sim = sim
+        self.network = network
+        self.topology = topology
+        self.nodes = nodes
+        self.trace = trace
+        self.source_id = source_id
+        self.watchdog = watchdog
+        self.invariants = invariants
+        #: Node ids currently down (includes nodes awaiting restart).
+        self.failed = set()
+        #: Node ids with a scheduled restart that has not happened yet;
+        #: the harness keeps the run alive while this is non-empty.
+        self.pending_restarts = set()
+        #: ``failure_stats`` salvaged from pre-crash node incarnations,
+        #: so restart does not lose their counter contributions.
+        self.salvaged_stats = {
+            "retries": 0,
+            "suspects": 0,
+            "rerequests": 0,
+            "rejoins": 0,
+        }
+        self.armed = False
+        self._partition_active = False
+
+    # -- arming ---------------------------------------------------------------
+
+    def arm(self):
+        """Arm failure detection network-wide (idempotent).
+
+        Every fault path calls this first, so detection exists from the
+        first fault onward and never before.
+        """
+        if self.armed:
+            return
+        self.armed = True
+        self.network.fault_detection = True
+        for node in self.nodes.values():
+            node.fault_detection_started()
+        if self.watchdog is not None:
+            self.watchdog.arm()
+
+    @property
+    def partition_active(self):
+        return self._partition_active
+
+    def live_receivers(self):
+        """Non-source nodes currently up, in deterministic order."""
+        return [
+            n
+            for n in self.topology.nodes
+            if n != self.source_id and n not in self.failed
+        ]
+
+    def permanently_failed(self):
+        """Nodes that are down with no restart scheduled."""
+        return self.failed - self.pending_restarts
+
+    # -- crash / restart -------------------------------------------------------
+
+    def fail(self, node_id):
+        """Silently crash ``node_id`` now.  Returns False if already down."""
+        if node_id == self.source_id:
+            raise ValueError("the source cannot be failed (it is the data)")
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node {node_id!r}")
+        if node_id in self.failed:
+            return False
+        self.arm()
+        self.failed.add(node_id)
+        node = self.nodes[node_id]
+        node.crash()
+        if self.invariants is not None:
+            self.invariants.node_crashed(node)
+        return True
+
+    def schedule_restart(self, node_id, delay):
+        """Restart ``node_id`` after ``delay`` seconds of downtime.
+
+        Registered immediately in ``pending_restarts`` so the harness's
+        completion check cannot stop the run while the node is down —
+        otherwise a fast-finishing survivor set would end the experiment
+        mid-downtime and the restart would silently never happen.
+        """
+        if delay < 0:
+            raise ValueError(f"restart delay must be >= 0, got {delay}")
+        if node_id in self.pending_restarts:
+            return
+        self.pending_restarts.add(node_id)
+        self.sim.schedule(delay, self._do_restart, node_id)
+
+    def _do_restart(self, node_id):
+        self.pending_restarts.discard(node_id)
+        if node_id not in self.failed:
+            return
+        self.restart(node_id)
+
+    def restart(self, node_id):
+        """Bring a crashed node back with all protocol state lost.
+
+        The endpoint is revived (handshakes complete again), a fresh
+        protocol instance replaces the dead one, detection is armed on
+        it, and it re-joins the overlay from scratch — re-peering and
+        resuming the download exactly like a brand-new participant.
+        """
+        old = self.nodes.get(node_id)
+        if old is not None:
+            for key, value in old.failure_stats.items():
+                self.salvaged_stats[key] += value
+        self.network.endpoint(node_id).revive()
+        node = self.nodes.rebuild(node_id)
+        if self.invariants is not None:
+            self.invariants.wrap(node)
+        node.fault_detection_started()
+        # The next successful tree attach is a re-join, not a first join.
+        node._fd_rejoin_pending = True
+        self.failed.discard(node_id)
+        node.start()
+        return node
+
+    # -- partition -------------------------------------------------------------
+
+    def partition(self, islands, duration, squeeze=1e-3):
+        """Split the topology into ``islands`` for ``duration`` seconds.
+
+        ``islands`` is an iterable of node-id groups.  Every core link
+        whose endpoints land in different islands is multiplicatively
+        squeezed to a trickle (propagation delay is untouched, so
+        handshakes still complete — the paper's partitions are capacity
+        events, not clean cuts), then healed by the inverse factor.  The
+        multiplicative form composes with any concurrent link scenario,
+        the same bookkeeping trick the churn scenario uses.
+
+        Only one partition may be active at a time; a second request is
+        refused (returns False) rather than stacked.
+        """
+        if duration <= 0:
+            raise ValueError(f"partition duration must be > 0, got {duration}")
+        if not 0 < squeeze < 1:
+            raise ValueError(f"squeeze must be in (0, 1), got {squeeze}")
+        if self._partition_active:
+            return False
+        island_of = {}
+        for index, group in enumerate(islands):
+            for node in group:
+                island_of[node] = index
+        squeezed = []
+        for (src, dst), link in sorted(self.topology.core.items()):
+            src_island = island_of.get(src)
+            dst_island = island_of.get(dst)
+            if src_island is None or dst_island is None:
+                continue
+            if src_island != dst_island:
+                link.scale_capacity(squeeze)
+                squeezed.append(link)
+        if not squeezed:
+            return False
+        self.arm()
+        self._partition_active = True
+
+        def heal():
+            for link in squeezed:
+                link.scale_capacity(1.0 / squeeze)
+            self._partition_active = False
+
+        self.sim.schedule(duration, heal)
+        return True

@@ -21,6 +21,7 @@ from repro.core.bullet_prime import BulletPrimeConfig, BulletPrimeNode
 from repro.harness.registry import SYSTEMS
 
 __all__ = [
+    "NodeSet",
     "bullet_prime_factory",
     "bullet_factory",
     "bittorrent_factory",
@@ -29,16 +30,43 @@ __all__ = [
 ]
 
 
+class NodeSet(dict):
+    """``{node_id: protocol}`` that can rebuild a single node.
+
+    The fault injector's restart path needs a *fresh* protocol instance
+    wired to the same network, tree/tracker/forest, config, and trace —
+    state loss on crash is total, so re-using the dead instance is not
+    an option.  Each factory captures its per-system construction
+    context in ``build_one`` once, and ``rebuild`` replays it for one
+    node; constructing a node re-registers it as the endpoint's
+    acceptor, so the newcomer is reachable the moment it starts.
+    """
+
+    def __init__(self, nodes, build_one):
+        super().__init__(nodes)
+        self._build_one = build_one
+
+    def rebuild(self, node_id):
+        if node_id not in self:
+            raise KeyError(f"unknown node {node_id!r}")
+        node = self._build_one(node_id)
+        self[node_id] = node
+        return node
+
+
 def bullet_prime_factory(config=None, **overrides):
     """Bullet' node factory; ``overrides`` patch the default config."""
     if config is None:
         config = BulletPrimeConfig(**overrides)
 
     def factory(network, tree, source_id, trace):
-        return {
-            node: BulletPrimeNode(network, node, tree, source_id, config, trace)
-            for node in network.topology.nodes
-        }
+        def build_one(node):
+            return BulletPrimeNode(network, node, tree, source_id, config, trace)
+
+        return NodeSet(
+            {node: build_one(node) for node in network.topology.nodes},
+            build_one,
+        )
 
     return factory
 
@@ -49,10 +77,13 @@ def bullet_factory(config=None, **overrides):
         config = BulletConfig(**overrides)
 
     def factory(network, tree, source_id, trace):
-        return {
-            node: BulletNode(network, node, tree, source_id, config, trace)
-            for node in network.topology.nodes
-        }
+        def build_one(node):
+            return BulletNode(network, node, tree, source_id, config, trace)
+
+        return NodeSet(
+            {node: build_one(node) for node in network.topology.nodes},
+            build_one,
+        )
 
     return factory
 
@@ -64,10 +95,14 @@ def bittorrent_factory(config=None, **overrides):
 
     def factory(network, _tree, source_id, trace):
         tracker = Tracker(seed=config.seed)
-        return {
-            node: BitTorrentNode(network, node, tracker, source_id, config, trace)
-            for node in network.topology.nodes
-        }
+
+        def build_one(node):
+            return BitTorrentNode(network, node, tracker, source_id, config, trace)
+
+        return NodeSet(
+            {node: build_one(node) for node in network.topology.nodes},
+            build_one,
+        )
 
     return factory
 
@@ -85,10 +120,14 @@ def splitstream_factory(config=None, **overrides):
             config.max_fanout,
             seed=config.seed,
         )
-        return {
-            node: SplitStreamNode(network, node, forest, source_id, config, trace)
-            for node in network.topology.nodes
-        }
+
+        def build_one(node):
+            return SplitStreamNode(network, node, forest, source_id, config, trace)
+
+        return NodeSet(
+            {node: build_one(node) for node in network.topology.nodes},
+            build_one,
+        )
 
     return factory
 

@@ -27,6 +27,16 @@ class OverlayProtocol:
         self._handlers = {}
         self._timers = []
         self.stopped = False
+        self.crashed = False
+        #: Failure-handling work done by this node, summed into
+        #: ``summary()["perf"]`` by the harness.  All zeros unless fault
+        #: detection was armed at some point during the run.
+        self.failure_stats = {
+            "retries": 0,
+            "suspects": 0,
+            "rerequests": 0,
+            "rejoins": 0,
+        }
 
     # -- wiring ----------------------------------------------------------------
 
@@ -70,17 +80,53 @@ class OverlayProtocol:
     def connection_closed(self, conn):
         """A connection was closed by the remote side."""
 
+    def fault_detection_started(self):
+        """The fault injector armed detection network-wide.
+
+        Called once per node (including nodes built later by restarts).
+        Subclasses arm their failure detectors here; the base class only
+        records the flag so helpers can stay zero-cost in fault-free
+        runs.
+        """
+        self._fd_enabled = True
+
     # -- helpers -----------------------------------------------------------------
 
-    def connect(self, remote_id, on_connect):
-        """Open a connection; the callback receives it fully wired."""
+    _fd_enabled = False
+
+    def connect(self, remote_id, on_connect, timeout=None, on_timeout=None):
+        """Open a connection; the callback receives it fully wired.
+
+        With ``timeout`` set, ``on_timeout()`` fires instead if the
+        handshake has not completed within that many seconds (e.g. the
+        remote crashed and the SYN black-holed).  A handshake that lands
+        after the timeout is closed immediately rather than surfaced.
+        """
+        state = {"done": False}
+        timer = None
 
         def wired(conn):
             conn.on_message = self._dispatch
             conn.on_close = self._closed
+            if state["done"]:
+                conn.close()
+                return
+            state["done"] = True
+            if timer is not None:
+                timer.cancel()
             if not self.stopped:
                 on_connect(conn)
 
+        if timeout is not None:
+
+            def timed_out():
+                if state["done"]:
+                    return
+                state["done"] = True
+                if on_timeout is not None:
+                    on_timeout()
+
+            timer = self.schedule(timeout, timed_out)
         self.endpoint.connect(remote_id, wired)
 
     def _closed(self, conn):
@@ -114,3 +160,21 @@ class OverlayProtocol:
         self._timers.clear()
         for conn in list(self.endpoint.connections):
             conn.close()
+
+    def crash(self):
+        """Kill the node *silently* — no FINs, no goodbye.
+
+        Every connection is aborted (peers are never notified and must
+        detect the death themselves) and the endpoint black-holes
+        handshakes until a restart revives it.  This is the failure model
+        the paper's reliability experiments assume: a host that simply
+        stops, not one that shuts down cleanly.
+        """
+        self.stopped = True
+        self.crashed = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for conn in list(self.endpoint.connections):
+            conn.abort()
+        self.endpoint.crashed = True

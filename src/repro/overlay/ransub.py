@@ -123,6 +123,11 @@ class RanSubService:
         self.subset_size = subset_size
         self.rng = split_rng(seed, f"ransub.{self.node_id}")
         self.epoch = 0
+        #: Simulated time of the last distribute wave that reached this
+        #: node.  The epoch beat doubles as a tree-parent heartbeat: a
+        #: failure detector that sees no distribute traffic for several
+        #: epochs concludes the path to the root is dead.
+        self.last_distribute_at = 0.0
         #: Connection to the (current) tree parent and connections to the
         #: live tree children, maintained by the owning protocol.  These
         #: are dynamic: tree repair after a failure may attach a node to
@@ -192,6 +197,7 @@ class RanSubService:
 
     def _on_distribute(self, _conn, message):
         self.epoch = message.payload["epoch"]
+        self.last_distribute_at = self.protocol.sim.now
         subset = list(message.payload["subset"])
         self._parent_sample = _Sample(subset, message.payload["weight"])
         if subset:

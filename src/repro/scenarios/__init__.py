@@ -20,6 +20,10 @@ Catalogue (all registered in :data:`repro.harness.registry.SCENARIOS`):
 ``gilbert_elliott``   two-state bursty loss on every core link
 ``asymmetric_squeeze``  capacity cuts on receiver uplinks only
 ``lossy``             overlay a loss schedule on any other scenario
+``crash``             seeded permanent node kills (silent-failure model)
+``crash_restart``     nodes crash, lose all state, rejoin after a downtime
+``partition``         split into islands for a window, then heal
+``chaos``             seeded composite crash/restart/partition stream
 ====================  =======================================================
 
 Scenarios actuate the full link-condition engine — capacity, loss rate,
@@ -63,6 +67,12 @@ from repro.scenarios.dynamics import (
     Lossy,
     lossy,
 )
+from repro.scenarios.failures import (
+    Chaos,
+    Crash,
+    CrashRestart,
+    Partition,
+)
 from repro.scenarios.tracefile import (
     TraceRecorder,
     TraceReplay,
@@ -86,6 +96,10 @@ __all__ = [
     "GilbertElliott",
     "AsymmetricSqueeze",
     "Lossy",
+    "Crash",
+    "CrashRestart",
+    "Partition",
+    "Chaos",
     "TraceRecorder",
     "TraceReplay",
     "read_csv_trace",
@@ -275,6 +289,91 @@ SCENARIOS.register(
               description="release each cut after this many seconds "
               "(None: cuts are cumulative)"),
         *_COMMON_WINDOW,
+    ),
+)
+SCENARIOS.register(
+    "crash",
+    Crash,
+    description="seeded permanent node kills (silent crash-stop failures)",
+    aliases=("failures",),
+    params=(
+        Param("fraction", "float", default=0.2,
+              description="fraction of receivers crashed, (0, 1]"),
+        Param("count", "int", default=0,
+              description="exact victim count (0: use fraction)"),
+        Param("start", "float", default=10.0,
+              description="first crash, seconds after installation"),
+        Param("stagger", "float", default=2.0,
+              description="seconds between successive crashes"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for victim choice"),
+    ),
+)
+SCENARIOS.register(
+    "crash_restart",
+    CrashRestart,
+    description="nodes crash silently, then rejoin with all state lost",
+    aliases=("restart",),
+    params=(
+        Param("fraction", "float", default=0.2,
+              description="fraction of receivers crashed, (0, 1]"),
+        Param("count", "int", default=0,
+              description="exact victim count (0: use fraction)"),
+        Param("start", "float", default=10.0,
+              description="first crash, seconds after installation"),
+        Param("stagger", "float", default=2.0,
+              description="seconds between successive crashes"),
+        Param("down_time", "float", default=15.0,
+              description="seconds a crashed node stays down before rejoining"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for victim choice"),
+    ),
+)
+SCENARIOS.register(
+    "partition",
+    Partition,
+    description="split the topology into islands for a window, then heal",
+    aliases=("split",),
+    params=(
+        Param("islands", "int", default=2,
+              description="number of islands the nodes are split into"),
+        Param("start", "float", default=8.0,
+              description="partition onset, seconds after installation"),
+        Param("duration", "float", default=15.0,
+              description="seconds the partition holds before healing"),
+        Param("squeeze", "float", default=1e-3,
+              description="cross-island capacity multiplier while split"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for island choice"),
+    ),
+)
+SCENARIOS.register(
+    "chaos",
+    Chaos,
+    description="seeded composite crash/restart/partition fault stream",
+    params=(
+        Param("rate", "float", default=0.1,
+              description="fault events per second (0: no faults at all)"),
+        Param("start", "float", default=5.0,
+              description="fault window opens this many seconds in"),
+        Param("duration", "float", default=120.0,
+              description="length of the fault window in seconds"),
+        Param("down_time", "float", default=15.0,
+              description="downtime of crash-with-restart events"),
+        Param("partition_duration", "float", default=15.0,
+              description="seconds each partition event holds"),
+        Param("crash_weight", "float", default=1.0,
+              description="relative weight of permanent-crash events"),
+        Param("restart_weight", "float", default=2.0,
+              description="relative weight of crash-with-restart events"),
+        Param("partition_weight", "float", default=0.5,
+              description="relative weight of partition events"),
+        Param("max_dead_fraction", "float", default=0.25,
+              description="cap on permanently dead receivers, [0, 1]"),
+        Param("squeeze", "float", default=1e-3,
+              description="cross-island capacity multiplier while split"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for the fault stream"),
     ),
 )
 SCENARIOS.register(

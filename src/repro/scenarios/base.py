@@ -53,7 +53,9 @@ class ScenarioContext:
         from it so scenarios never perturb each other's draws.
     """
 
-    def __init__(self, sim, topology, *, nodes=None, source_id=None, seed=0):
+    def __init__(
+        self, sim, topology, *, nodes=None, source_id=None, seed=0, faults=None
+    ):
         self.sim = sim
         self.topology = topology
         self.nodes = nodes
@@ -62,6 +64,34 @@ class ScenarioContext:
         #: node_id -> start delay in seconds; the harness starts those
         #: nodes late (membership-shaping scenarios write this).
         self.start_delays = {}
+        #: The run's :class:`repro.harness.faults.FaultInjector`, present
+        #: when installed by the experiment harness.  Scenarios actuate
+        #: node-level failures through the methods below, never by
+        #: touching protocol nodes directly.
+        self.faults = faults
+
+    def _require_faults(self):
+        if self.faults is None:
+            raise RuntimeError(
+                "this scenario injects node failures and needs the "
+                "experiment harness's fault injector; install it via "
+                "run_experiment, not as a bare link-level scenario"
+            )
+        return self.faults
+
+    def fail_node(self, node_id):
+        """Silently crash ``node_id`` now (peers must detect it)."""
+        return self._require_faults().fail(node_id)
+
+    def restart_node(self, node_id, after=0.0):
+        """Restart a crashed node ``after`` seconds from now, with all
+        protocol state lost; the run stays alive until it happens."""
+        return self._require_faults().schedule_restart(node_id, after)
+
+    def partition(self, islands, duration, squeeze=1e-3):
+        """Split the topology into ``islands`` for ``duration`` seconds
+        (cross-island core links collapse to a trickle), then heal."""
+        return self._require_faults().partition(islands, duration, squeeze)
 
     def rng(self, label, seed=None):
         """An independent RNG stream for ``label`` (see ``split_rng``).

@@ -1,0 +1,275 @@
+"""Node-failure scenarios: crashes, crash/restart cycles, partitions,
+and the composite ``chaos`` stressor.
+
+These promote node failure to the same first-class dynamic-condition
+axis the link scenarios occupy: declaratively configured, registered
+with full ``Param`` schemas, grid-able by sweeps, and installed through
+the standard :class:`~repro.scenarios.base.ScenarioContext` — whose
+``fail_node`` / ``restart_node`` / ``partition`` actuators delegate to
+the run's fault injector.  Failures are *silent* (see
+:mod:`repro.harness.faults`): peers learn of a death only through their
+own failure detectors, which the injector arms at the first fault.
+
+All randomness derives from ``ctx.rng`` streams, and every timer is
+scheduled at install time from those draws, so a given (scenario config,
+seed) pair produces one fixed fault timeline regardless of worker count
+or protocol behavior — the property the sweep engine's bit-identity
+contract needs.
+"""
+
+from repro.scenarios.base import Scenario, ScenarioHandle
+
+__all__ = ["Crash", "CrashRestart", "Partition", "Chaos"]
+
+
+def _pick_victims(ctx, rng, fraction, count):
+    """Seeded victim choice, never the source, never the last receiver."""
+    receivers = ctx.receivers
+    cap = len(receivers) - 1
+    if cap < 1:
+        return []
+    if not count:
+        count = max(1, round(fraction * len(receivers)))
+    return rng.sample(receivers, max(1, min(count, cap)))
+
+
+class Crash(Scenario):
+    """Seeded permanent node kills (the paper's section-1 failure case).
+
+    ``count`` nodes (or ``fraction`` of the receivers when ``count`` is
+    0) are chosen with the scenario RNG and crashed one ``stagger``
+    apart starting at ``start``.  An explicit ``schedule`` of
+    ``(time, node_id)`` pairs overrides the random choice entirely —
+    that form is what ``run_experiment(failure_schedule=...)`` wraps.
+    """
+
+    name = "crash"
+
+    def __init__(
+        self,
+        fraction=0.2,
+        count=0,
+        start=10.0,
+        stagger=2.0,
+        seed=None,
+        schedule=None,
+    ):
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if start < 0 or stagger < 0:
+            raise ValueError("start and stagger must be >= 0")
+        self.fraction = fraction
+        self.count = count
+        self.start = start
+        self.stagger = stagger
+        self.seed = seed
+        self.schedule = tuple(schedule) if schedule is not None else None
+
+    def _kill_plan(self, ctx):
+        if self.schedule is not None:
+            return list(self.schedule)
+        rng = ctx.rng(self.name, self.seed)
+        victims = _pick_victims(ctx, rng, self.fraction, self.count)
+        return [
+            (self.start + index * self.stagger, node)
+            for index, node in enumerate(victims)
+        ]
+
+    def _fire(self, ctx, node):
+        ctx.fail_node(node)
+
+    def install(self, ctx):
+        handle = ScenarioHandle()
+        for at, node in self._kill_plan(ctx):
+            handle.add_timer(
+                ctx.sim.schedule(max(at - ctx.sim.now, 0.0), self._fire, ctx, node)
+            )
+        return handle
+
+
+class CrashRestart(Crash):
+    """Crash nodes, then bring them back ``down_time`` seconds later.
+
+    Restarted nodes come back with *all protocol state lost* — a fresh
+    instance re-joins the tree, re-peers through RanSub, and restarts
+    its download from zero blocks — while the harness keeps the run
+    alive until every restart has happened and completed.
+    """
+
+    name = "crash_restart"
+
+    def __init__(
+        self,
+        fraction=0.2,
+        count=0,
+        start=10.0,
+        stagger=2.0,
+        down_time=15.0,
+        seed=None,
+        schedule=None,
+    ):
+        super().__init__(
+            fraction=fraction,
+            count=count,
+            start=start,
+            stagger=stagger,
+            seed=seed,
+            schedule=schedule,
+        )
+        if down_time <= 0:
+            raise ValueError(f"down_time must be > 0, got {down_time}")
+        self.down_time = down_time
+
+    def _fire(self, ctx, node):
+        ctx.fail_node(node)
+        ctx.restart_node(node, after=self.down_time)
+
+
+class Partition(Scenario):
+    """Split the topology into islands for a window, then heal.
+
+    At ``start`` the receivers are shuffled into ``islands`` groups (the
+    source always lands in island 0 — it *is* the data); cross-island
+    core links collapse to a ``squeeze`` fraction of their capacity for
+    ``duration`` seconds.  Propagation delay is untouched, so this
+    models a capacity partition (congested trans-oceanic segment), not a
+    clean cut: handshakes crawl through, bulk data effectively stops.
+    """
+
+    name = "partition"
+
+    def __init__(self, islands=2, start=8.0, duration=15.0, squeeze=1e-3, seed=None):
+        if islands < 2:
+            raise ValueError(f"need at least 2 islands, got {islands}")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        self.islands = islands
+        self.start = start
+        self.duration = duration
+        self.squeeze = squeeze
+        self.seed = seed
+
+    def _split(self, ctx):
+        rng = ctx.rng(self.name, self.seed)
+        pool = list(ctx.receivers)
+        if len(pool) < 2:
+            return
+        rng.shuffle(pool)
+        groups = [[] for _ in range(int(self.islands))]
+        for index, node in enumerate(pool):
+            groups[index % len(groups)].append(node)
+        if ctx.source_id is not None:
+            groups[0].append(ctx.source_id)
+        ctx.partition([g for g in groups if g], self.duration, self.squeeze)
+
+    def install(self, ctx):
+        handle = ScenarioHandle()
+        handle.add_timer(ctx.sim.schedule(self.start, self._split, ctx))
+        return handle
+
+
+class Chaos(Scenario):
+    """Seeded composite fault stream — the standing smoke test.
+
+    Fault events arrive as a Poisson process of ``rate`` events/second
+    over ``[start, start + duration)``; each event is a weighted draw
+    among a permanent crash, a crash-with-restart (down ``down_time``
+    seconds), and a two-island partition (``partition_duration``
+    seconds, at most one active at a time).  Permanent deaths are capped
+    at ``max_dead_fraction`` of the receivers — excess crashes demote to
+    restarts — and the source is never touched, so a healthy protocol
+    always retains a path to completion.
+
+    ``rate=0`` installs nothing at all: no RNG stream is created and no
+    event is scheduled, making the run bit-identical to the ``none``
+    scenario by construction.
+    """
+
+    name = "chaos"
+
+    def __init__(
+        self,
+        rate=0.1,
+        start=5.0,
+        duration=120.0,
+        down_time=15.0,
+        partition_duration=15.0,
+        crash_weight=1.0,
+        restart_weight=2.0,
+        partition_weight=0.5,
+        max_dead_fraction=0.25,
+        squeeze=1e-3,
+        seed=None,
+    ):
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        if min(crash_weight, restart_weight, partition_weight) < 0:
+            raise ValueError("event weights must be >= 0")
+        if not 0.0 <= max_dead_fraction <= 1.0:
+            raise ValueError(
+                f"max_dead_fraction must be in [0, 1], got {max_dead_fraction}"
+            )
+        self.rate = rate
+        self.start = start
+        self.duration = duration
+        self.down_time = down_time
+        self.partition_duration = partition_duration
+        self.crash_weight = crash_weight
+        self.restart_weight = restart_weight
+        self.partition_weight = partition_weight
+        self.max_dead_fraction = max_dead_fraction
+        self.squeeze = squeeze
+        self.seed = seed
+
+    def install(self, ctx):
+        handle = ScenarioHandle()
+        if self.rate <= 0:
+            return handle
+        kinds = []
+        weights = []
+        for kind, weight in (
+            ("crash", self.crash_weight),
+            ("restart", self.restart_weight),
+            ("partition", self.partition_weight),
+        ):
+            if weight > 0:
+                kinds.append(kind)
+                weights.append(weight)
+        if not kinds:
+            return handle
+        rng = ctx.rng(self.name, self.seed)
+        # The whole fault timeline is drawn up front; only victim choice
+        # waits for fire time (it depends on who is still alive).
+        at = self.start + rng.expovariate(self.rate)
+        end = self.start + self.duration
+        while at < end:
+            kind = rng.choices(kinds, weights)[0]
+            handle.add_timer(ctx.sim.schedule(at, self._fire, ctx, rng, kind))
+            at += rng.expovariate(self.rate)
+        return handle
+
+    def _fire(self, ctx, rng, kind):
+        faults = ctx._require_faults()
+        receivers = ctx.receivers
+        live = [n for n in receivers if n not in faults.failed]
+        if kind == "partition":
+            if faults.partition_active or len(live) < 2:
+                return
+            pool = list(live)
+            rng.shuffle(pool)
+            half = len(pool) // 2
+            near = pool[half:]
+            if ctx.source_id is not None:
+                near = near + [ctx.source_id]
+            ctx.partition([near, pool[:half]], self.partition_duration, self.squeeze)
+            return
+        if len(live) < 2:
+            return  # never take out the last live receiver
+        victim = rng.choice(live)
+        if kind == "crash":
+            dead_after = len(faults.permanently_failed()) + 1
+            if dead_after > self.max_dead_fraction * len(receivers):
+                kind = "restart"  # cap reached: demote to a transient
+        ctx.fail_node(victim)
+        if kind == "restart":
+            ctx.restart_node(victim, after=self.down_time)

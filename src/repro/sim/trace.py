@@ -23,6 +23,9 @@ class TraceCollector:
         self.control_bytes = {}
         self.data_bytes = {}
         self.start_time = sim.now
+        #: Simulated time of the most recent fresh block arrival anywhere
+        #: in the experiment — the liveness watchdog's progress signal.
+        self.last_arrival_time = sim.now
 
     def node_started(self, node_id):
         self.block_arrivals.setdefault(node_id, [])
@@ -40,6 +43,7 @@ class TraceCollector:
         if arrivals is None:
             arrivals = self.block_arrivals[node_id] = []
         arrivals.append((self.sim.now, block))
+        self.last_arrival_time = self.sim.now
 
     def control_sent(self, node_id, nbytes):
         self.control_bytes[node_id] = self.control_bytes.get(node_id, 0) + nbytes

@@ -311,6 +311,10 @@ class Channel:
             self.network.flows.deactivate(self.flow)
         self.flow.on_rate_change = None
         self.flow.on_path_change = None
+        # Drop the low-watermark watcher entirely: a closed channel never
+        # transmits again, so a surviving watermark would only invite a
+        # stale callback if the slot were ever re-armed.
+        self.block_low_watermark = None
         self.on_block_low = None
 
 
@@ -364,6 +368,10 @@ class Connection:
     def _deliver(self, message):
         twin = self._twin
         if twin is None or twin.closed:
+            # In-flight message arriving after the receiving side closed
+            # (or crashed): dropped on the floor, never dispatched.  The
+            # counter is off the hot path and feeds the invariant checker.
+            self.endpoint.network.dropped_after_close += 1
             return
         twin.bytes_received += message.size + MESSAGE_HEADER_BYTES
         if message.is_block:
@@ -407,6 +415,27 @@ class Connection:
     def rtt(self):
         return self._out_channel.flow.rtt
 
+    @property
+    def rto(self):
+        """Retransmission timeout of the outbound flow (failure detectors
+        key their suspicion thresholds off this)."""
+        return self._out_channel.flow.rto
+
+    def abort(self):
+        """Tear the local side down *silently* — crash semantics.
+
+        Unlike :meth:`close`, the twin is never notified: no FIN crosses
+        the wire, so the peer's ``on_close`` never fires and any messages
+        it sends afterwards are dropped at delivery.  This is what a
+        power failure looks like from the other end — the peer can only
+        learn of it through its own failure detector.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._out_channel.close()
+        self.endpoint._forget(self)
+
     def close(self):
         """Tear the connection down; the peer sees ``on_close`` after the
         one-way propagation delay."""
@@ -443,6 +472,10 @@ class Endpoint:
         #: ``on_accept(connection)`` is invoked when a remote node's
         #: connect completes; protocols assign it before starting.
         self.on_accept = None
+        #: A crashed endpoint black-holes handshakes in both directions
+        #: until :meth:`revive` — SYNs to it time out instead of
+        #: completing, exactly what connecting to a dead host looks like.
+        self.crashed = False
         #: Open connections in creation order (dict-as-ordered-set:
         #: iterating a plain set would follow id(), i.e. memory
         #: addresses, making close order — and with it event ordering
@@ -462,15 +495,24 @@ class Endpoint:
         rtt = network.topology.rtt(self.node_id, remote_id)
 
         def established():
+            remote_end = network.endpoint(remote_id)
+            if self.crashed or remote_end.crashed:
+                # SYN black hole: the handshake never completes when
+                # either end is down.  ``on_connect`` simply never fires;
+                # callers that care arm their own connect timeout.
+                return
             local_conn, remote_conn = network._make_connection_pair(
                 self.node_id, remote_id
             )
             on_connect(local_conn)
-            remote_end = network.endpoint(remote_id)
             if remote_end.on_accept is not None:
                 remote_end.on_accept(remote_conn)
 
         network.sim.schedule(rtt, established)
+
+    def revive(self):
+        """Bring a crashed endpoint back: handshakes complete again."""
+        self.crashed = False
 
     def _forget(self, connection):
         self.connections.pop(connection, None)
@@ -494,6 +536,15 @@ class Network:
         self.rng = rng
         self._endpoints = {}
         self._conn_counter = 0
+        #: Armed (network-wide) by the fault injector at the first real
+        #: fault actuation; protocols read it to decide whether to spend
+        #: timers on failure detection.  Never set in fault-free runs, so
+        #: legacy timelines stay bit-identical.
+        self.fault_detection = False
+        #: In-flight messages dropped because the receiving twin was
+        #: already closed (crash semantics make this routine; the
+        #: invariant checker surfaces it as an informational counter).
+        self.dropped_after_close = 0
 
     def endpoint(self, node_id):
         if node_id not in self._endpoints:

@@ -159,6 +159,13 @@ def test_summary_perf_counters_deterministic_and_equivalent(scenario_name):
         "path_refreshes",
         "max_component_size",
         "mean_component_size",
+        # Failure-handling totals (PR 7): always present, zero when no
+        # fault ever actuated, so fault-free summaries stay uniform.
+        "fd_retries",
+        "fd_suspects",
+        "fd_rerequests",
+        "fd_rejoins",
+        "watchdog_fired",
     }
     assert inc["events_processed"] == full["events_processed"]
     assert inc["reallocations"] == full["reallocations"]

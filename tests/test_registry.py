@@ -106,13 +106,17 @@ class TestScenariosRegistry:
         assert SCENARIOS.names() == [
             "asymmetric_squeeze",
             "cascading_cuts",
+            "chaos",
             "churn",
             "correlated_decreases",
+            "crash",
+            "crash_restart",
             "flash_crowd",
             "gilbert_elliott",
             "lossy",
             "none",
             "oscillate",
+            "partition",
             "trace_replay",
         ]
 

@@ -245,6 +245,81 @@ class TestChannelCounterAccounting:
         assert len(channel.queue) == 0
 
 
+class TestCloseDuringFlight:
+    """Crash/close semantics for messages already on the wire.
+
+    Both directions matter: a receiver that closes while a message is in
+    flight must drop it on arrival (counted, never dispatched), and a
+    sender that dies silently must look *alive* to its peer — sends keep
+    "succeeding" into the void until the peer's own detector reacts.
+    """
+
+    def test_in_flight_message_to_closed_receiver_is_dropped(self):
+        sim, net = _two_node_net(delay=20 * MS)
+        local, remote = _connect(sim, net)
+        got = []
+        remote.on_message = lambda c, m: got.append(m)
+        local.send(Message("late", size=100))
+        remote.close()  # closes before the 20ms propagation elapses
+        sim.run(until=sim.now + 1.0)
+        assert got == []
+        assert net.dropped_after_close == 1
+
+    def test_in_flight_message_to_closed_receiver_reverse_direction(self):
+        sim, net = _two_node_net(delay=20 * MS)
+        local, remote = _connect(sim, net)
+        got = []
+        local.on_message = lambda c, m: got.append(m)
+        remote.send(Message("late", size=100))
+        local.close()
+        sim.run(until=sim.now + 1.0)
+        assert got == []
+        assert net.dropped_after_close == 1
+
+    def test_abort_is_silent_and_peer_sends_into_the_void(self):
+        sim, net = _two_node_net(delay=10 * MS)
+        local, remote = _connect(sim, net)
+        closed = []
+        remote.on_close = lambda c: closed.append(sim.now)
+        local.abort()
+        assert local.closed
+        sim.run(until=sim.now + 2.0)
+        # No FIN crossed the wire: the peer never hears about the death
+        # and its sends still report success.
+        assert closed == []
+        assert not remote.closed
+        assert remote.send(Message("hello?", size=64)) is True
+        sim.run(until=sim.now + 2.0)
+        assert net.dropped_after_close == 1
+
+    def test_close_drops_low_watermark_watcher(self):
+        sim, net = _two_node_net()
+        local, _ = _connect(sim, net)
+        fired = []
+        for _ in range(3):
+            local.send(Message("b", size=50_000, is_block=True))
+        local.watch_send_queue_low(2, lambda c: fired.append(sim.now))
+        local.close()
+        channel = local._out_channel
+        assert channel.block_low_watermark is None
+        assert channel.on_block_low is None
+        sim.run(until=sim.now + 5.0)
+        assert fired == []
+
+    def test_crashed_endpoint_blackholes_handshakes_until_revive(self):
+        sim, net = _two_node_net(delay=10 * MS)
+        net.endpoint(1).crashed = True
+        attempts = []
+        net.endpoint(1).on_accept = lambda c: attempts.append("accept")
+        net.endpoint(0).connect(1, lambda c: attempts.append("connect"))
+        sim.run(until=2.0)
+        assert attempts == []  # SYN vanished: no callback on either side
+        net.endpoint(1).revive()
+        net.endpoint(0).connect(1, lambda c: attempts.append("connect"))
+        sim.run(until=4.0)
+        assert attempts == ["connect", "accept"]
+
+
 class TestControlMessageLossDelay:
     def test_lossy_path_sometimes_delays_control(self):
         sim, net = _two_node_net(delay=5 * MS, loss=0.3)
