@@ -28,6 +28,15 @@ topologies x scales x seeds, executed across a worker pool::
     python -m repro sweep --golden-matrix --workers 4 \\
         --check-golden tests/data/golden_matrix_summaries.json
 
+Paired-comparison analytics — turn sweep stores into conclusions
+("system A beats system B by X% under scenario S, CI [lo, hi]"), and
+read the accumulating perf-ledger history for regressions::
+
+    python -m repro compare results.jsonl --baseline bullet_prime
+    python -m repro compare results.jsonl --format json --out league.json
+    python -m repro compare --trend BENCH_old.json BENCH_new.json \\
+        --counter-threshold 0.2
+
 Discovery — enumerate everything registered::
 
     python -m repro list
@@ -567,6 +576,117 @@ def _sweep_command(argv):
     return 0
 
 
+def _parse_compare_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="repro compare",
+        description=(
+            "Paired per-seed comparison of systems in sweep JSONL "
+            "store(s): league tables with median/p90/worst deltas vs a "
+            "baseline, win rates, and paired Student-t confidence "
+            "intervals.  With --trend, instead read two or more "
+            "BENCH_*.json perf-ledger entries (oldest first) and exit "
+            "nonzero on wall-time or counter regressions past the "
+            "thresholds."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        metavar="PATH",
+        help="sweep JSONL result store(s) (concatenated), or perf "
+        "ledger JSON files oldest-first with --trend",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="system every competitor is compared against "
+        "(default: alphabetically first system in the store)",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level for the paired intervals "
+        "(0.90, 0.95, or 0.99; default 0.95)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("markdown", "json"),
+        default="markdown",
+        help="report format (default: markdown league tables)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the report here (e.g. for a CI artifact)",
+    )
+    parser.add_argument(
+        "--trend",
+        action="store_true",
+        help="ledger-trend mode: PATHs are perf-ledger JSON files "
+        "(BENCH_*.json), oldest first",
+    )
+    parser.add_argument(
+        "--counter-threshold",
+        type=float,
+        default=0.10,
+        metavar="FRACTION",
+        help="trend mode: relative increase in a deterministic work "
+        "counter that fails the gate (default 0.10 = +10%%)",
+    )
+    parser.add_argument(
+        "--wall-threshold",
+        type=float,
+        default=0.50,
+        metavar="FRACTION",
+        help="trend mode: relative increase in a wall-time field that "
+        "fails the gate (wall clocks are noisy; default 0.50 = +50%%)",
+    )
+    return parser.parse_args(argv)
+
+
+def _compare_command(argv):
+    from repro.harness import compare
+
+    args = _parse_compare_args(argv)
+    try:
+        if args.trend:
+            entries = compare.load_ledger_entries(args.paths)
+            report = compare.trend_report(
+                entries,
+                counter_threshold=args.counter_threshold,
+                wall_threshold=args.wall_threshold,
+            )
+            if args.format == "json":
+                text = compare.render_trend_json(report)
+            else:
+                text = compare.render_trend_markdown(report) + "\n"
+        else:
+            doc = compare.compare_paths(
+                args.paths,
+                baseline=args.baseline,
+                confidence=args.confidence,
+            )
+            if args.format == "json":
+                text = compare.render_json(doc)
+            else:
+                text = compare.render_markdown(doc) + "\n"
+    except (OSError, ValueError, KeyError) as exc:
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    print(text, end="")
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    if args.trend and not report["ok"]:
+        for problem in report["regressions"]:
+            print(f"trend regression: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _parse_perf_gate_args(argv):
     parser = argparse.ArgumentParser(
         prog="repro perf-gate",
@@ -683,6 +803,8 @@ def main(argv=None):
         return _sweep_command(argv[1:])
     if argv and argv[0] == "list":
         return _list_command(argv[1:])
+    if argv and argv[0] == "compare":
+        return _compare_command(argv[1:])
     if argv and argv[0] == "perf-gate":
         return _perf_gate_command(argv[1:])
     return _figures_command(argv)

@@ -5,7 +5,22 @@ times; :class:`Cdf` is the shared representation the harness renders.
 :class:`OnlineStats` provides the running mean/stddev the Bullet'
 peering strategy uses to prune slow senders (1.5 sigma rule).
 :func:`confidence_interval` / :func:`aggregate` summarize repeated
-measurements across seeds for the sweep engine.
+measurements across seeds for the sweep engine, and the paired helpers
+(:func:`paired_deltas`, :func:`paired_confidence_interval`,
+:func:`sign_counts`, :func:`win_rate`) back the ``repro compare``
+paired-comparison analytics: same-seed runs of two systems share their
+random numbers, so per-seed deltas are paired samples with far tighter
+confidence intervals than group-vs-group comparisons.
+
+Two variance conventions coexist deliberately:
+
+- :func:`mean_stddev` is **population** stddev (ddof=0) — it models the
+  paper's 1.5-sigma peering rule, which prunes against the spread of
+  the senders actually observed, not an estimate of a larger universe.
+- :func:`confidence_interval` and :func:`aggregate` use **sample**
+  variance (ddof=1) — seeds are a sample from the space of runs, and
+  for the small n_seeds the sweeps use, ddof=0 visibly understates
+  spread.
 """
 
 import math
@@ -16,6 +31,10 @@ __all__ = [
     "aggregate",
     "confidence_interval",
     "mean_stddev",
+    "paired_confidence_interval",
+    "paired_deltas",
+    "sign_counts",
+    "win_rate",
 ]
 
 
@@ -25,6 +44,11 @@ def mean_stddev(values):
     Used by the peering strategy (paper section 3.3.1) to decide which
     senders are ">= 1.5 standard deviations below the mean bandwidth".
     An empty input returns ``(0.0, 0.0)``.
+
+    This is deliberately the **population** convention (ddof=0): the
+    peering rule measures the spread of the senders it actually has.
+    Cross-seed summaries (:func:`aggregate`) use the sample convention
+    instead — see the module docstring.
     """
     values = list(values)
     if not values:
@@ -61,6 +85,18 @@ _T_CRITICAL = {
 _Z_CRITICAL = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
 
 
+def _sample_variance(values, mean):
+    """Unbiased (ddof=1) variance; 0.0 with fewer than two samples.
+
+    The one variance definition :func:`confidence_interval` and
+    :func:`aggregate` both use, so the ``stddev`` a report prints is
+    always the one its confidence interval was computed from.
+    """
+    if len(values) < 2:
+        return 0.0
+    return sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+
+
 def confidence_interval(values, confidence=0.95):
     """Two-sided Student-t confidence interval for the mean of ``values``.
 
@@ -89,7 +125,7 @@ def confidence_interval(values, confidence=0.95):
         # where the bare z=1.960 would under-cover by ~4%.
         z = _Z_CRITICAL[confidence]
         t = z + (z**3 + z) / (4.0 * df)
-    variance = sum((v - mean) ** 2 for v in values) / df
+    variance = _sample_variance(values, mean)
     half = t * math.sqrt(variance / len(values))
     return mean - half, mean + half
 
@@ -98,26 +134,80 @@ def aggregate(values, confidence=0.95):
     """Summary statistics of repeated measurements (one value per seed).
 
     Returns a plain dict — ``n``, ``mean``, ``median``, ``stddev``
-    (population), ``min``, ``max``, ``ci_low``/``ci_high`` (Student-t,
-    see :func:`confidence_interval`) — deterministic for a given input
+    (**sample**, ddof=1: the same variance its ``ci_low``/``ci_high``
+    Student-t interval is built from; see :func:`confidence_interval`),
+    ``min``, ``max`` — deterministic for a given input
     order-insensitively, so sweep aggregates are reproducible bit for
     bit no matter how cells were scheduled.
     """
     values = sorted(values)
     if not values:
         raise ValueError("aggregate requires at least one sample")
-    mean, stddev = mean_stddev(values)
+    mean = sum(values) / len(values)
     low, high = confidence_interval(values, confidence=confidence)
     return {
         "n": len(values),
         "mean": mean,
         "median": Cdf(values).median,
-        "stddev": stddev,
+        "stddev": math.sqrt(_sample_variance(values, mean)),
         "min": values[0],
         "max": values[-1],
         "ci_low": low,
         "ci_high": high,
     }
+
+
+def paired_deltas(xs, ys):
+    """Per-index deltas ``x - y`` of two equal-length paired samples.
+
+    The pairing is the point: when ``xs[i]`` and ``ys[i]`` come from
+    runs sharing seed ``i`` (common random numbers), their difference
+    cancels the between-seed variance that dominates group-vs-group
+    comparisons.  With completion times, a *negative* delta means the
+    ``xs`` system finished faster.
+    """
+    xs, ys = list(xs), list(ys)
+    if len(xs) != len(ys):
+        raise ValueError(
+            f"paired samples must have equal length, got {len(xs)} and {len(ys)}"
+        )
+    if not xs:
+        raise ValueError("paired_deltas requires at least one pair")
+    return [x - y for x, y in zip(xs, ys)]
+
+
+def paired_confidence_interval(xs, ys, confidence=0.95):
+    """Student-t confidence interval for the mean paired delta ``x - y``.
+
+    Exactly :func:`confidence_interval` over :func:`paired_deltas` —
+    the paired-t construction.  An interval wholly below zero means
+    the ``xs`` system is faster at this confidence level.
+    """
+    return confidence_interval(paired_deltas(xs, ys), confidence=confidence)
+
+
+def sign_counts(deltas):
+    """``(wins, ties, losses)`` of paired deltas, lower-is-better.
+
+    A delta < 0 is a *win* for the ``xs`` side of
+    :func:`paired_deltas` (it finished faster), 0 a tie, > 0 a loss.
+    """
+    wins = sum(1 for d in deltas if d < 0)
+    ties = sum(1 for d in deltas if d == 0)
+    return wins, ties, len(deltas) - wins - ties
+
+
+def win_rate(deltas):
+    """Fraction of paired deltas the ``xs`` side wins, ties counting half.
+
+    The half-tie convention keeps the rate symmetric: the two systems'
+    win rates always sum to exactly 1.0.
+    """
+    deltas = list(deltas)
+    if not deltas:
+        raise ValueError("win_rate requires at least one pair")
+    wins, ties, _losses = sign_counts(deltas)
+    return (wins + 0.5 * ties) / len(deltas)
 
 
 class OnlineStats:

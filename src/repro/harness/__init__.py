@@ -11,6 +11,9 @@
   whole matrix (systems x scenarios x knobs x topologies x scales x
   seeds) on a multiprocess worker pool; bit-identical results for any
   worker count.
+- :mod:`repro.harness.compare` — paired-comparison analytics over
+  sweep stores (league tables vs a baseline, paired Student-t CIs)
+  and the perf-ledger trend gate.
 - :mod:`repro.harness.workloads` — file and delta workload generators.
 - :mod:`repro.harness.figures` — one entry point per paper figure.
 - :mod:`repro.harness.report` — text rendering of figure data.
@@ -19,9 +22,10 @@
 from repro.harness.experiment import ExperimentResult, run_experiment
 from repro.harness.figures import FIGURES, run_figure
 from repro.harness.registry import SCENARIOS, SYSTEMS, WORKLOADS
-from repro.harness.sweep import SweepSpec, run_sweep
+from repro.harness.sweep import StoreView, SweepSpec, run_sweep
 
 __all__ = [
+    "StoreView",
     "ExperimentResult",
     "run_experiment",
     "FIGURES",

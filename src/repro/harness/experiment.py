@@ -109,12 +109,27 @@ class ExperimentResult:
         return stats
 
     def summary(self):
-        cdf = self.completion_cdf()
+        """Plain-data result record (what sweep cells store).
+
+        ``median``/``p90``/``worst`` describe the completion-time CDF
+        over the nodes that completed (``nodes`` counts them).  On a
+        run where *no* node completed — e.g. the liveness watchdog
+        fired before first delivery — they are ``None``, not a sentinel
+        float: the unfinished-cell policy
+        (:class:`repro.harness.sweep.StoreView`) keeps such censored
+        cells out of cross-seed statistics, and a 0.0 here would
+        silently drag means toward zero instead.
+        """
+        if self.trace.completion_times:
+            cdf = self.completion_cdf()
+            median, p90, worst = cdf.median, cdf.percentile(0.9), cdf.maximum
+        else:
+            median = p90 = worst = None
         return {
             "nodes": len(self.trace.completion_times),
-            "median": cdf.median,
-            "p90": cdf.percentile(0.9),
-            "worst": cdf.maximum,
+            "median": median,
+            "p90": p90,
+            "worst": worst,
             "finished": self.finished,
             "duplicates": self.trace.total_duplicates(),
             "control_bytes": self.trace.total_control_bytes(),

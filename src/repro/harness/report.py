@@ -9,9 +9,32 @@ reference series.
 
 from repro.common.stats import Cdf
 
-__all__ = ["FigureData"]
+__all__ = ["FigureData", "render_markdown_table"]
 
 _PERCENTILES = (0.10, 0.25, 0.50, 0.75, 0.90, 1.00)
+
+
+def render_markdown_table(headers, rows):
+    """A GitHub-flavored markdown table; cells are ``str()``'d verbatim.
+
+    Shared by the ``repro compare`` league tables and anything else
+    emitting markdown reports — one place to keep the rendering
+    byte-stable (tests pin report output bit for bit).
+    """
+    headers = [str(h) for h in headers]
+
+    def line(cells):
+        return "| " + " | ".join(cells) + " |"
+
+    lines = [line(headers), line(["---"] * len(headers))]
+    for row in rows:
+        cells = [str(cell) for cell in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(headers)}"
+            )
+        lines.append(line(cells))
+    return "\n".join(lines)
 
 
 class FigureData:
@@ -40,23 +63,27 @@ class FigureData:
     def cdf(self, label):
         return Cdf(self.series[label])
 
-    def median_speedup(self, label, against=None):
-        """How much faster ``against`` (default: reference) is at the
-        median, as a fraction: 0.25 means 25% faster."""
-        against = against or self.reference
-        ref = Cdf(self.series[against]).median
-        other = Cdf(self.series[label]).median
+    def _speedup(self, label, against, statistic):
+        # `against` may be any label, including falsy ones like "" —
+        # only an *omitted* argument falls back to the reference.
+        against = self.reference if against is None else against
+        ref = statistic(Cdf(self.series[against]))
+        other = statistic(Cdf(self.series[label]))
         if other <= 0:
-            return 0.0
+            # A degenerate comparison series (all-zero completion
+            # times) has no meaningful ratio; None renders as "n/a"
+            # rather than masquerading as "0% speedup".
+            return None
         return (other - ref) / other
 
+    def median_speedup(self, label, against=None):
+        """How much faster ``against`` (default: reference) is at the
+        median, as a fraction: 0.25 means 25% faster.  ``None`` (not
+        0.0) when the ``label`` series is degenerate (median <= 0)."""
+        return self._speedup(label, against, lambda cdf: cdf.median)
+
     def worst_speedup(self, label, against=None):
-        against = against or self.reference
-        ref = Cdf(self.series[against]).maximum
-        other = Cdf(self.series[label]).maximum
-        if other <= 0:
-            return 0.0
-        return (other - ref) / other
+        return self._speedup(label, against, lambda cdf: cdf.maximum)
 
     def render(self):
         """Text table in the spirit of the paper's CDF figures."""
@@ -76,9 +103,15 @@ class FigureData:
             for label in self.series:
                 if label == self.reference:
                     continue
+                cells = []
+                for speedup in (self.median_speedup, self.worst_speedup):
+                    value = speedup(label)
+                    cells.append(
+                        "   n/a" if value is None else f"{value * 100:6.1f}%"
+                    )
                 lines.append(
-                    f"vs {label:30s} median {self.median_speedup(label) * 100:6.1f}%"
-                    f"   worst-node {self.worst_speedup(label) * 100:6.1f}%"
+                    f"vs {label:30s} median {cells[0]}"
+                    f"   worst-node {cells[1]}"
                 )
         for label, value in self.scalars.items():
             lines.append(f"{label}: {value:.2f}")

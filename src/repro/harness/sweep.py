@@ -41,10 +41,12 @@ from repro.sim.topology import (
 
 __all__ = [
     "TOPOLOGIES",
+    "StoreView",
     "SweepCell",
     "SweepResult",
     "SweepSpec",
     "golden_matrix_spec",
+    "record_cell",
     "run_cell",
     "run_sweep",
 ]
@@ -103,6 +105,19 @@ class SweepCell:
             key: _comparable_value(scenario_params[key])
             for key in sorted(scenario_params)
         }
+        for key, value in self.scenario_params.items():
+            # '|' is the cell-key field separator; a param value
+            # containing it (a trace path, a lossy base spec, ...) would
+            # render keys that are ambiguous to every key consumer.
+            # Rejected here — at spec-validation time — rather than
+            # escaped: an escape scheme would silently change the key of
+            # every cell already recorded in golden stores.
+            if "|" in f"{key}={json.dumps(value)}":
+                raise ValueError(
+                    f"scenario param {key}={value!r} renders with '|', the "
+                    "cell-key field separator; use a value without '|' "
+                    "(e.g. rename the file for trace_replay's 'path')"
+                )
         self.topology = topology
         self.nodes = nodes
         self.blocks = blocks
@@ -110,21 +125,23 @@ class SweepCell:
         self.max_time = max_time
         self.tree_fanout = tree_fanout
 
-    def key(self):
-        """Canonical cell identity, e.g.
-        ``bullet_prime|oscillate[period=4.0]|mesh|n8|b24|s1``."""
+    def condition_key(self):
+        """Cell identity minus system and seed — everything a paired
+        comparison holds fixed, e.g. ``oscillate[period=4.0]|mesh|n8|b24``."""
         params = ",".join(
             f"{k}={json.dumps(v)}" for k, v in self.scenario_params.items()
         )
         scenario = self.scenario + (f"[{params}]" if params else "")
-        return (
-            f"{self.system}|{scenario}|{self.topology}"
-            f"|n{self.nodes}|b{self.blocks}|s{self.seed}"
-        )
+        return f"{scenario}|{self.topology}|n{self.nodes}|b{self.blocks}"
 
     def group_key(self):
         """The key minus the seed: cells sharing it aggregate together."""
-        return self.key().rsplit("|", 1)[0]
+        return f"{self.system}|{self.condition_key()}"
+
+    def key(self):
+        """Canonical cell identity, e.g.
+        ``bullet_prime|oscillate[period=4.0]|mesh|n8|b24|s1``."""
+        return f"{self.group_key()}|s{self.seed}"
 
     def to_dict(self):
         return {slot: getattr(self, slot) for slot in self.__slots__}
@@ -336,6 +353,11 @@ def run_cell(cell):
     )
     return {
         "key": cell.key(),
+        # Structured grouping fields: consumers (aggregates, repro
+        # compare) pair and group on these, never by parsing the key —
+        # a rendered string param could otherwise smuggle ambiguity in.
+        "group": cell.group_key(),
+        "seed": cell.seed,
         "cell": cell.to_dict(),
         "summary": result.summary(),
     }
@@ -380,12 +402,64 @@ def run_sweep(spec, workers=1, progress=None):
     return SweepResult(spec, records)
 
 
-class SweepResult:
-    """Merged sweep output: per-cell records in canonical order."""
+def record_cell(record):
+    """The :class:`SweepCell` a store record describes.
 
-    def __init__(self, spec, records):
-        self.spec = spec
+    Rebuilt from the record's structured ``cell`` fields (present in
+    every store ever written), so grouping and pairing never parse the
+    rendered ``key`` string.
+    """
+    return SweepCell.from_dict(record["cell"])
+
+
+class StoreView:
+    """Read-only analytics view over per-cell sweep records.
+
+    Wraps records in memory (a :class:`SweepResult` is one) or loaded
+    from a JSONL results store (:meth:`from_jsonl`), and applies the
+    **unfinished-cell policy** — defined here, once, for every
+    consumer (:meth:`aggregates`, ``repro compare``):
+
+    A record whose run did not finish (``summary["finished"]`` false —
+    the liveness watchdog fired, or the time limit hit) has *censored*
+    completion metrics: its ``worst`` is a lower bound, not a
+    measurement, and when nothing completed at all the metrics are
+    ``None``.  Such cells are therefore **excluded from completion-
+    metric statistics** (median/p90/worst aggregates and paired
+    deltas); every aggregate row reports ``n_finished`` alongside
+    ``n_seeds`` so the censoring is visible, and a group with no
+    finished cell reports ``None`` for each metric aggregate instead
+    of a fabricated number.  Counters (duplicates, perf, ...) remain
+    valid for unfinished cells and are not affected by the policy.
+    """
+
+    def __init__(self, records):
         self.records = list(records)
+
+    @classmethod
+    def from_jsonl(cls, path):
+        """Load a results store written by :meth:`SweepResult.write_jsonl`."""
+        records = []
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: not a JSONL sweep store ({exc})"
+                    ) from None
+                if "cell" not in record or "summary" not in record:
+                    raise ValueError(
+                        f"{path}:{lineno}: record lacks 'cell'/'summary' "
+                        "fields — not a sweep results store"
+                    )
+                records.append(record)
+        if not records:
+            raise ValueError(f"{path}: empty results store")
+        return cls(records)
 
     def __len__(self):
         return len(self.records)
@@ -394,32 +468,60 @@ class SweepResult:
         """``{cell key: summary}`` over every record."""
         return {record["key"]: record["summary"] for record in self.records}
 
-    def aggregates(self, metrics=("median", "p90", "worst")):
-        """Cross-seed statistics per cell group, in canonical order.
+    @staticmethod
+    def finished_summaries(summaries):
+        """Apply the unfinished-cell policy: the summaries whose
+        completion metrics may enter cross-seed statistics."""
+        return [s for s in summaries if s["finished"]]
 
-        Returns ``[{"group": ..., "n_seeds": ..., "finished": fraction,
-        "<metric>": aggregate-dict, ...}, ...]`` where each aggregate
-        dict is :func:`repro.common.stats.aggregate` over the per-seed
-        summary values.
-        """
+    def grouped(self):
+        """``{group key: [records]}`` in first-appearance order."""
         groups = {}
         for record in self.records:
-            group = record["key"].rsplit("|", 1)[0]
-            groups.setdefault(group, []).append(record["summary"])
+            groups.setdefault(record_cell(record).group_key(), []).append(
+                record
+            )
+        return groups
+
+    def aggregates(self, metrics=("median", "p90", "worst")):
+        """Cross-seed statistics per cell group, in record order.
+
+        Returns ``[{"group": ..., "n_seeds": ..., "n_finished": ...,
+        "finished": fraction, "<metric>": aggregate-dict-or-None, ...},
+        ...]`` where each aggregate dict is
+        :func:`repro.common.stats.aggregate` over the per-seed summary
+        values of the *finished* cells (the unfinished-cell policy
+        above), or ``None`` when no cell in the group finished.
+        """
         rows = []
-        for group, summaries in groups.items():
+        for group, records in self.grouped().items():
+            summaries = [record["summary"] for record in records]
+            finished = self.finished_summaries(summaries)
             row = {
                 "group": group,
                 "n_seeds": len(summaries),
-                "finished": sum(s["finished"] for s in summaries)
-                / len(summaries),
+                "n_finished": len(finished),
+                "finished": len(finished) / len(summaries),
             }
             for metric in metrics:
-                row[metric] = stats.aggregate(
-                    [s[metric] for s in summaries]
+                row[metric] = (
+                    stats.aggregate([s[metric] for s in finished])
+                    if finished
+                    else None
                 )
             rows.append(row)
         return rows
+
+    def __repr__(self):
+        return f"{type(self).__name__}(cells={len(self)})"
+
+
+class SweepResult(StoreView):
+    """Merged sweep output: per-cell records in canonical order."""
+
+    def __init__(self, spec, records):
+        super().__init__(records)
+        self.spec = spec
 
     def to_jsonl(self):
         """The results store: one sorted-keys JSON line per cell."""
@@ -442,6 +544,14 @@ class SweepResult:
         ]
         for row in rows:
             med = row["median"]
+            if med is None:
+                # No finished cell in the group: censored, not zero.
+                lines.append(
+                    f"{row['group']:58s} {row['n_seeds']:5d} "
+                    f"{row['finished']:5.0%} {'n/a':>9s} {'':>19s} "
+                    f"{'n/a':>9s} {'n/a':>9s}"
+                )
+                continue
             ci = f"[{med['ci_low']:8.1f},{med['ci_high']:8.1f}]"
             lines.append(
                 f"{row['group']:58s} {row['n_seeds']:5d} "
@@ -449,6 +559,3 @@ class SweepResult:
                 f"{row['p90']['mean']:9.1f} {row['worst']['mean']:9.1f}"
             )
         return "\n".join(lines)
-
-    def __repr__(self):
-        return f"SweepResult(cells={len(self)})"

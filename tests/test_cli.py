@@ -381,6 +381,108 @@ def test_cli_sweep_unknown_names_fail_cleanly(capsys):
     assert "unknown system" in capsys.readouterr().err
 
 
+COMPARE_STORE_FLAGS = [
+    "sweep", "--systems", "bulletprime,bittorrent", "--scenarios", "none",
+    "--nodes", "6", "--blocks", "12", "--seeds", "1,2", "--max-time", "600",
+    "--quiet",
+]
+
+
+@pytest.fixture(scope="module")
+def compare_store(tmp_path_factory):
+    path = tmp_path_factory.mktemp("compare") / "results.jsonl"
+    assert main(COMPARE_STORE_FLAGS + ["--out", str(path)]) == 0
+    return path
+
+
+def test_cli_compare_markdown(compare_store, capsys):
+    capsys.readouterr()
+    code = main(
+        ["compare", str(compare_store), "--baseline", "bulletprime"]
+    )
+    assert code == 2  # aliases are not resolved by compare: clean error
+    assert "bulletprime" in capsys.readouterr().err
+    code = main(
+        ["compare", str(compare_store), "--baseline", "bullet_prime"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "# Paired comparison vs `bullet_prime`" in out
+    assert "none|mesh|n6|b12" in out
+    assert "| `bittorrent` | 2/2 |" in out
+
+
+def test_cli_compare_json_and_out(compare_store, tmp_path, capsys):
+    out_path = tmp_path / "league.json"
+    code = main(
+        ["compare", str(compare_store), "--format", "json", "--out",
+         str(out_path)]
+    )
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert out_path.read_text() == printed
+    doc = json.loads(printed)
+    assert doc["baseline"] == "bittorrent"  # alphabetically first
+    assert doc["systems"] == ["bittorrent", "bullet_prime"]
+    (cond,) = doc["conditions"]
+    (row,) = cond["rows"]
+    assert row["n_pairs"] == 2
+    assert row["metrics"]["median"]["n"] == 2
+
+
+def test_cli_compare_bad_paths_fail_cleanly(tmp_path, capsys):
+    code = main(["compare", "/no/such/store.jsonl"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    assert main(["compare", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def _write_ledger(path, events=1000):
+    path.write_text(json.dumps({
+        "benchmark": "scenario_sweep", "nodes": 10, "blocks": 48,
+        "cells": 14, "scenarios": ["none"], "seeds": [2],
+        "serial_seconds": 1.0, "parallel_seconds_4w": 0.5,
+        "perf_totals": {
+            "events_processed": events, "reallocations": 200,
+            "fill_rounds": 400, "timers_recycled": 800,
+        },
+    }))
+
+
+def test_cli_compare_trend_gate(tmp_path, capsys):
+    old, new = tmp_path / "old.json", tmp_path / "new.json"
+    _write_ledger(old, events=1000)
+    _write_ledger(new, events=1300)  # +30%
+    # Past the threshold: report printed, regression on stderr, exit 1.
+    code = main(
+        ["compare", "--trend", str(old), str(new),
+         "--counter-threshold", "0.2"]
+    )
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "Perf-ledger trend" in captured.out
+    assert "REGRESSED" in captured.out
+    assert "events_processed" in captured.err
+    # A generous threshold passes the same pair.
+    code = main(
+        ["compare", "--trend", str(old), str(new),
+         "--counter-threshold", "0.5"]
+    )
+    assert code == 0
+    assert "No regressions." in capsys.readouterr().out
+
+
+def test_cli_compare_trend_requires_two_entries(tmp_path, capsys):
+    ledger = tmp_path / "only.json"
+    _write_ledger(ledger)
+    code = main(["compare", "--trend", str(ledger)])
+    assert code == 2
+    assert "at least two" in capsys.readouterr().err
+
+
 def test_cli_sweep_bad_param_fails_cleanly(tmp_path, capsys):
     spec_path = tmp_path / "spec.json"
     spec_path.write_text(json.dumps({

@@ -1,0 +1,416 @@
+"""Tests for the paired-comparison analytics and the ledger trend gate.
+
+The hand-computed fixture pins one league table byte for byte; the
+hypothesis test pins the order-invariance property (shuffled record
+order cannot move a single output byte); the chaos-group test exercises
+the unfinished-cell policy against the real golden watchdog cell
+(``bittorrent|chaos|1``).
+"""
+
+import json
+import pathlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import stats
+from repro.harness import compare
+from repro.harness.sweep import (
+    StoreView,
+    SweepCell,
+    SweepSpec,
+    run_sweep,
+)
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_matrix_summaries.json"
+
+
+def _record(system, seed, median, p90, worst, finished=True, scenario="none"):
+    """A synthetic store record shaped exactly like run_cell's output."""
+    cell = SweepCell(system, scenario, {}, "mesh", 8, 24, seed, 900.0)
+    return {
+        "key": cell.key(),
+        "group": cell.group_key(),
+        "seed": seed,
+        "cell": cell.to_dict(),
+        "summary": {
+            "nodes": 8,
+            "median": median,
+            "p90": p90,
+            "worst": worst,
+            "finished": finished,
+            "duplicates": 0,
+            "control_bytes": 0,
+            "perf": {},
+        },
+    }
+
+
+def _fixture_records():
+    """Three systems x four shared seeds under one condition.
+
+    Hand-checkable paired deltas vs bullet_prime ([10, 12, 11, 13]):
+
+    - bittorrent medians [9, 13, 10, 12] -> deltas [-1, +1, -1, -1]:
+      mean -0.5, nearest-rank median -1, sample stddev 1.0,
+      CI -0.5 -+ 3.182 * 1.0 / 2, win rate 3/4.
+    - splitstream medians [8, 9, 10, 11] -> deltas [-2, -3, -1, -2]:
+      mean -2.0, wins every seed.
+    """
+    records = []
+    for seed, median in zip((0, 1, 2, 3), (10.0, 12.0, 11.0, 13.0)):
+        records.append(_record("bullet_prime", seed, median, median + 2, median + 4))
+    for seed, median in zip((0, 1, 2, 3), (9.0, 13.0, 10.0, 12.0)):
+        records.append(_record("bittorrent", seed, median, median + 3, median + 6))
+    for seed, median in zip((0, 1, 2, 3), (8.0, 9.0, 10.0, 11.0)):
+        records.append(_record("splitstream", seed, median, median + 1, median + 2))
+    return records
+
+
+EXPECTED_LEAGUE_TABLE = """\
+# Paired comparison vs `bullet_prime`
+
+95% paired Student-t confidence intervals over per-seed deltas (competitor − baseline; negative = competitor faster).  Pairs where either run did not finish are excluded (unfinished-cell policy); `pairs` shows finished/common seed counts.
+
+## none|mesh|n8|b24
+
+baseline finished 4/4 seeds
+
+| system | pairs | Δmedian | 95% CI | Δ% | win | Δp90 | Δworst |
+| --- | --- | --- | --- | --- | --- | --- | --- |
+| `splitstream` | 4/4 | -2.00 | [-3.30, -0.70] | -17.4% | 100% | -3.00 | -4.00 |
+| `bittorrent` | 4/4 | -0.50 | [-2.09, +1.09] | -4.3% | 75% | +0.50 | +1.50 |"""
+
+
+class TestPairedComparison:
+    def test_league_table_markdown_byte_for_byte(self):
+        doc = compare.compare_store(
+            StoreView(_fixture_records()), baseline="bullet_prime"
+        )
+        assert compare.render_markdown(doc) == EXPECTED_LEAGUE_TABLE
+
+    def test_paired_statistics_hand_computed(self):
+        doc = compare.compare_store(
+            StoreView(_fixture_records()), baseline="bullet_prime"
+        )
+        (cond,) = doc["conditions"]
+        # Rows ranked best-first: splitstream (mean -2.0) ahead of
+        # bittorrent (mean -0.5).
+        assert [r["system"] for r in cond["rows"]] == [
+            "splitstream",
+            "bittorrent",
+        ]
+        bt = cond["rows"][1]["metrics"]["median"]
+        assert bt["mean_delta"] == -0.5
+        assert bt["median_delta"] == -1.0  # nearest-rank over 4 deltas
+        assert bt["worst_delta"] == 1.0
+        assert (bt["wins"], bt["ties"], bt["losses"]) == (3, 0, 1)
+        assert bt["win_rate"] == 0.75
+        # Sample stddev of [-1, 1, -1, -1] is 1.0; t(3) = 3.182.
+        assert bt["ci_low"] == pytest.approx(-0.5 - 3.182 / 2)
+        assert bt["ci_high"] == pytest.approx(-0.5 + 3.182 / 2)
+        assert bt["pct_of_baseline"] == pytest.approx(-0.5 / 11.5)
+        # The paired CI is exactly the stats helper over the deltas.
+        assert (bt["ci_low"], bt["ci_high"]) == stats.paired_confidence_interval(
+            [9.0, 13.0, 10.0, 12.0], [10.0, 12.0, 11.0, 13.0]
+        )
+
+    def test_default_baseline_is_alphabetical(self):
+        doc = compare.compare_store(StoreView(_fixture_records()))
+        assert doc["baseline"] == "bittorrent"
+        assert doc["systems"] == ["bittorrent", "bullet_prime", "splitstream"]
+
+    def test_unknown_baseline_rejected(self):
+        with pytest.raises(ValueError, match="no cells in the store"):
+            compare.compare_store(StoreView(_fixture_records()), baseline="napster")
+
+    def test_duplicate_cells_rejected(self):
+        records = _fixture_records()
+        with pytest.raises(ValueError, match="duplicate cell"):
+            compare.compare_store(StoreView(records + records[:1]))
+
+    def test_unfinished_pairs_excluded(self):
+        records = _fixture_records()
+        # Fail bittorrent's seed 1 run (its +1 delta, bullet_prime's
+        # only win): the pair must leave every statistic.
+        records[5]["summary"]["finished"] = False
+        doc = compare.compare_store(StoreView(records), baseline="bullet_prime")
+        (cond,) = doc["conditions"]
+        bt_row = [r for r in cond["rows"] if r["system"] == "bittorrent"][0]
+        assert (bt_row["pairs"], bt_row["n_pairs"]) == (4, 3)
+        assert bt_row["seeds"] == [0, 2, 3]
+        bt = bt_row["metrics"]["median"]
+        assert bt["n"] == 3
+        assert bt["mean_delta"] == -1.0
+        assert bt["win_rate"] == 1.0
+
+    def test_no_finished_pairs_renders_na(self):
+        records = _fixture_records()
+        for record in records:
+            if record["cell"]["system"] == "bittorrent":
+                record["summary"]["finished"] = False
+        doc = compare.compare_store(StoreView(records), baseline="bullet_prime")
+        (cond,) = doc["conditions"]
+        bt_row = [r for r in cond["rows"] if r["system"] == "bittorrent"][0]
+        assert bt_row["n_pairs"] == 0
+        assert bt_row["metrics"]["median"] is None
+        text = compare.render_markdown(doc)
+        assert "| `bittorrent` | 0/4 | n/a | n/a | n/a | n/a | n/a | n/a |" in text
+        # Rows with no data rank last.
+        assert [r["system"] for r in cond["rows"]] == [
+            "splitstream",
+            "bittorrent",
+        ]
+
+    def test_json_rendering_is_deterministic(self):
+        view = StoreView(_fixture_records())
+        a = compare.render_json(compare.compare_store(view))
+        b = compare.render_json(compare.compare_store(view))
+        assert a == b
+        assert json.loads(a)["baseline"] == "bittorrent"
+
+
+class TestOrderAndWorkerInvariance:
+    @settings(max_examples=25, deadline=None)
+    @given(st.permutations(_fixture_records()))
+    def test_report_bit_identical_for_shuffled_records(self, shuffled):
+        reference = compare.compare_store(
+            StoreView(_fixture_records()), baseline="bullet_prime"
+        )
+        shuffled_doc = compare.compare_store(
+            StoreView(shuffled), baseline="bullet_prime"
+        )
+        assert shuffled_doc == reference
+        assert compare.render_markdown(shuffled_doc) == EXPECTED_LEAGUE_TABLE
+        assert compare.render_json(shuffled_doc) == compare.render_json(reference)
+
+    def test_report_bit_identical_for_any_worker_count(self):
+        spec = SweepSpec(
+            systems=("bullet_prime", "bittorrent"),
+            scenarios=("none",),
+            nodes=(6,),
+            blocks=(12,),
+            seeds=(1, 2),
+            max_time=600.0,
+        )
+        serial = compare.compare_store(run_sweep(spec, workers=1))
+        parallel = compare.compare_store(run_sweep(spec, workers=2))
+        assert serial == parallel
+        assert compare.render_markdown(serial) == compare.render_markdown(parallel)
+
+
+class TestWatchdogCells:
+    """The unfinished-cell policy against the real golden watchdog cell."""
+
+    @pytest.fixture(scope="class")
+    def chaos_store(self):
+        # bittorrent|chaos|1 is the recorded watchdog firing (finished
+        # False); seed 3 finishes.  bullet_prime finishes both.
+        spec = SweepSpec(
+            systems=("bullet_prime", "bittorrent"),
+            scenarios=("chaos",),
+            nodes=(8,),
+            blocks=(24,),
+            seeds=(1, 3),
+            max_time=900.0,
+        )
+        return run_sweep(spec, workers=1)
+
+    def test_matches_recorded_golden_cells(self, chaos_store):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        by_key = chaos_store.by_key()
+        watchdog = by_key["bittorrent|chaos|mesh|n8|b24|s1"]
+        assert watchdog["finished"] is False
+        assert watchdog["perf"]["watchdog_fired"] == 1
+        assert watchdog["median"] == golden["bittorrent|chaos|1"]["median"]
+
+    def test_aggregates_exclude_the_watchdog_cell(self, chaos_store):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        rows = {row["group"]: row for row in chaos_store.aggregates()}
+        bt = rows["bittorrent|chaos|mesh|n8|b24"]
+        assert (bt["n_seeds"], bt["n_finished"]) == (2, 1)
+        assert bt["finished"] == 0.5
+        # Only the finished seed-3 cell enters the statistics; the
+        # censored watchdog metrics never leak into a mean.
+        assert bt["median"]["n"] == 1
+        assert bt["median"]["mean"] == golden["bittorrent|chaos|3"]["median"]
+        bp = rows["bullet_prime|chaos|mesh|n8|b24"]
+        assert (bp["n_seeds"], bp["n_finished"]) == (2, 2)
+
+    def test_compare_pairs_only_the_finished_seed(self, chaos_store):
+        doc = compare.compare_store(chaos_store, baseline="bullet_prime")
+        (cond,) = doc["conditions"]
+        (row,) = cond["rows"]
+        assert row["system"] == "bittorrent"
+        assert (row["pairs"], row["n_pairs"]) == (2, 1)
+        assert row["seeds"] == [3]
+        # Render must survive censored pairs without crashing.
+        assert "chaos|mesh|n8|b24" in compare.render_markdown(doc)
+
+    def test_all_pairs_censored_yields_na_not_crash(self):
+        records = [
+            _record("a", 0, None, None, None, finished=False),
+            _record("a", 1, 5.0, 6.0, 7.0, finished=True),
+            _record("b", 0, 4.0, 5.0, 6.0, finished=True),
+            _record("b", 1, None, None, None, finished=False),
+        ]
+        doc = compare.compare_store(StoreView(records), baseline="a")
+        (cond,) = doc["conditions"]
+        (row,) = cond["rows"]
+        # Disjoint finished seeds -> zero usable pairs, n/a everywhere.
+        assert (row["pairs"], row["n_pairs"]) == (2, 0)
+        assert row["metrics"]["median"] is None
+        assert "n/a" in compare.render_markdown(doc)
+
+
+def _ledger(**overrides):
+    base = {
+        "benchmark": "scenario_sweep",
+        "nodes": 10,
+        "blocks": 48,
+        "cells": 14,
+        "scenarios": ["chaos", "none"],
+        "seeds": [2],
+        "serial_seconds": 1.0,
+        "parallel_seconds_4w": 0.5,
+        "perf_totals": {
+            "events_processed": 1000,
+            "reallocations": 200,
+            "fill_rounds": 400,
+            "timers_recycled": 800,
+        },
+    }
+    perf = overrides.pop("perf_totals", {})
+    base.update(overrides)
+    base["perf_totals"] = {**base["perf_totals"], **perf}
+    return base
+
+
+def _entries(*ledgers):
+    return [
+        {"source": f"entry{i}", "ledger": ledger} for i, ledger in enumerate(ledgers)
+    ]
+
+
+class TestTrendGate:
+    def test_counter_regression_flagged_past_threshold(self):
+        report = compare.trend_report(
+            _entries(_ledger(), _ledger(perf_totals={"events_processed": 1250})),
+            counter_threshold=0.20,
+        )
+        assert not report["ok"]
+        assert report["steps"][0]["regressions"] == ["events_processed"]
+        assert "events_processed" in report["regressions"][0]
+        assert "REGRESSED" in compare.render_trend_markdown(report)
+
+    def test_within_threshold_passes(self):
+        report = compare.trend_report(
+            _entries(_ledger(), _ledger(perf_totals={"events_processed": 1190})),
+            counter_threshold=0.20,
+        )
+        assert report["ok"]
+        assert report["regressions"] == []
+        assert "No regressions." in compare.render_trend_markdown(report)
+
+    def test_improvement_never_regresses(self):
+        report = compare.trend_report(
+            _entries(_ledger(), _ledger(perf_totals={"events_processed": 10}))
+        )
+        assert report["ok"]
+
+    def test_wall_time_uses_its_own_generous_threshold(self):
+        faster_counters_slower_wall = _ledger(serial_seconds=1.4)
+        report = compare.trend_report(
+            _entries(_ledger(), faster_counters_slower_wall),
+            counter_threshold=0.10,
+            wall_threshold=0.50,
+        )
+        assert report["ok"]  # +40% wall is under the 50% wall threshold
+        report = compare.trend_report(
+            _entries(_ledger(), _ledger(serial_seconds=1.6)),
+            wall_threshold=0.50,
+        )
+        assert report["steps"][0]["regressions"] == ["serial_seconds"]
+
+    def test_scale_mismatch_skips_not_lies(self):
+        report = compare.trend_report(
+            _entries(
+                _ledger(),
+                _ledger(nodes=50, perf_totals={"events_processed": 99999}),
+            )
+        )
+        assert report["ok"]
+        step = report["steps"][0]
+        assert step["comparable"] is False
+        assert "nodes" in step["skipped"]
+        assert "skipped" in compare.render_trend_markdown(report)
+
+    def test_consecutive_steps_each_checked(self):
+        report = compare.trend_report(
+            _entries(
+                _ledger(),
+                _ledger(perf_totals={"fill_rounds": 404}),
+                _ledger(perf_totals={"fill_rounds": 800}),
+            ),
+            counter_threshold=0.20,
+        )
+        assert [s["regressions"] for s in report["steps"]] == [
+            [],
+            ["fill_rounds"],
+        ]
+
+    def test_requires_two_entries(self):
+        with pytest.raises(ValueError, match="at least two"):
+            compare.trend_report(_entries(_ledger()))
+
+    def test_rejects_nonpositive_thresholds(self):
+        entries = _entries(_ledger(), _ledger())
+        with pytest.raises(ValueError, match="counter_threshold"):
+            compare.trend_report(entries, counter_threshold=0.0)
+
+    def test_load_ledger_entries_accepts_dict_and_list(self, tmp_path):
+        single = tmp_path / "single.json"
+        single.write_text(json.dumps(_ledger()))
+        many = tmp_path / "many.json"
+        many.write_text(json.dumps([_ledger(), _ledger()]))
+        entries = compare.load_ledger_entries([str(single), str(many)])
+        assert [e["source"] for e in entries] == [
+            str(single),
+            f"{many}[0]",
+            f"{many}[1]",
+        ]
+        with pytest.raises(ValueError, match="perf_totals"):
+            bad = tmp_path / "bad.json"
+            bad.write_text(json.dumps({"whatever": 1}))
+            compare.load_ledger_entries([str(bad)])
+
+
+class TestStoreLoading:
+    def test_compare_paths_concatenates_stores(self, tmp_path):
+        records = _fixture_records()
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        a.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records[:4])
+        )
+        b.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records[4:])
+        )
+        doc = compare.compare_paths([str(a), str(b)], baseline="bullet_prime")
+        assert compare.render_markdown(doc) == EXPECTED_LEAGUE_TABLE
+
+    def test_from_jsonl_rejects_non_store_files(self, tmp_path):
+        path = tmp_path / "nope.jsonl"
+        path.write_text('{"not": "a store"}\n')
+        with pytest.raises(ValueError, match="not a sweep results store"):
+            StoreView.from_jsonl(path)
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty results store"):
+            StoreView.from_jsonl(path)
+        path.write_text("this is not json\n")
+        with pytest.raises(ValueError, match="not a JSONL sweep store"):
+            StoreView.from_jsonl(path)
+
+    def test_compare_store_rejects_bare_paths(self):
+        with pytest.raises(TypeError, match="StoreView"):
+            compare.compare_store("results.jsonl")

@@ -43,6 +43,55 @@ class TestFigureData:
         fig = self._fig()
         assert fig.cdf("fast").median == 2.0
 
+    def test_degenerate_series_speedup_is_none_not_zero(self):
+        # An all-zero comparison series has no meaningful ratio; 0.0
+        # would read as "exactly as fast as the reference".
+        fig = FigureData("figX", "t", reference="fast")
+        fig.add_series("fast", [1.0, 2.0, 3.0])
+        fig.add_series("stuck", [0.0, 0.0, 0.0])
+        assert fig.median_speedup("stuck") is None
+        assert fig.worst_speedup("stuck") is None
+
+    def test_degenerate_speedup_renders_na(self):
+        fig = FigureData("figX", "t", reference="fast")
+        fig.add_series("fast", [1.0, 2.0, 3.0])
+        fig.add_series("stuck", [0.0, 0.0, 0.0])
+        text = fig.render()
+        assert "n/a" in text
+        assert "vs stuck" in text
+
+    def test_against_accepts_falsy_labels(self):
+        # `against=""` must route to the ""-labelled series, not fall
+        # back to the reference.
+        fig = FigureData("figX", "t", reference="fast")
+        fig.add_series("fast", [1.0, 1.0, 1.0])
+        fig.add_series("", [2.0, 2.0, 2.0])
+        fig.add_series("slow", [4.0, 4.0, 4.0])
+        # vs "": (4 - 2) / 4; vs reference would be (4 - 1) / 4.
+        assert fig.median_speedup("slow", against="") == pytest.approx(0.5)
+        assert fig.median_speedup("slow") == pytest.approx(0.75)
+
+
+class TestSummaryPolicy:
+    def test_no_finisher_summary_metrics_are_none(self):
+        # A run where no node completed (watchdog before first
+        # delivery) reports None, not a sentinel float that would drag
+        # downstream means toward zero.
+        from repro.harness.experiment import ExperimentResult
+        from repro.sim.engine import Simulator
+        from repro.sim.trace import TraceCollector
+
+        sim = Simulator()
+        result = ExperimentResult(
+            TraceCollector(sim, num_blocks=8), {}, sim, finished=False
+        )
+        summary = result.summary()
+        assert summary["median"] is None
+        assert summary["p90"] is None
+        assert summary["worst"] is None
+        assert summary["nodes"] == 0
+        assert summary["finished"] is False
+
 
 class TestWorkloads:
     def test_flash_crowd_file(self):

@@ -11,6 +11,10 @@ from repro.common.stats import (
     aggregate,
     confidence_interval,
     mean_stddev,
+    paired_confidence_interval,
+    paired_deltas,
+    sign_counts,
+    win_rate,
 )
 
 
@@ -85,6 +89,86 @@ class TestAggregate:
     def test_rejects_empty(self):
         with pytest.raises(ValueError, match="at least one"):
             aggregate([])
+
+
+class TestVarianceConventions:
+    """The two stddev conventions are deliberate and must stay pinned
+    to their documented users: population (ddof=0) for the peering
+    rule, sample (ddof=1) everywhere cross-seed statistics are made."""
+
+    VALUES = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+
+    def test_mean_stddev_stays_population(self):
+        _mean, std = mean_stddev(self.VALUES)
+        assert std == pytest.approx(2.0)  # ddof=0
+
+    def test_aggregate_reports_sample_stddev(self):
+        row = aggregate(self.VALUES)
+        n, mean = len(self.VALUES), row["mean"]
+        sample = math.sqrt(
+            sum((v - mean) ** 2 for v in self.VALUES) / (n - 1)
+        )
+        assert row["stddev"] == pytest.approx(sample)  # ddof=1, not 2.0
+        assert row["stddev"] > 2.0
+
+    def test_aggregate_stddev_matches_its_own_interval(self):
+        # The stddev a report prints must be the one its CI was built
+        # from: reconstruct the t-interval from the reported fields.
+        row = aggregate(self.VALUES)
+        half = 2.365 * row["stddev"] / math.sqrt(row["n"])  # t(7)
+        assert row["ci_low"] == pytest.approx(row["mean"] - half)
+        assert row["ci_high"] == pytest.approx(row["mean"] + half)
+
+
+class TestPairedHelpers:
+    def test_paired_deltas(self):
+        assert paired_deltas([9.0, 13.0], [10.0, 12.0]) == [-1.0, 1.0]
+
+    def test_paired_deltas_rejects_mismatch_and_empty(self):
+        with pytest.raises(ValueError, match="equal length"):
+            paired_deltas([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError, match="at least one pair"):
+            paired_deltas([], [])
+
+    def test_paired_interval_is_interval_of_deltas(self):
+        xs, ys = [9.0, 13.0, 10.0, 12.0], [10.0, 12.0, 11.0, 13.0]
+        assert paired_confidence_interval(xs, ys) == confidence_interval(
+            paired_deltas(xs, ys)
+        )
+
+    def test_paired_interval_tighter_than_unpaired_under_crn(self):
+        # Common random numbers: a constant offset plus shared per-seed
+        # noise.  Pairing cancels the noise entirely.
+        noise = [0.0, 10.0, 20.0, 30.0]
+        ys = [50.0 + n for n in noise]
+        xs = [48.0 + n for n in noise]
+        low, high = paired_confidence_interval(xs, ys)
+        assert high - low == pytest.approx(0.0)
+        xlow, xhigh = confidence_interval(xs)
+        assert (xhigh - xlow) > 10.0
+
+    def test_sign_counts(self):
+        assert sign_counts([-1.0, 1.0, -1.0, -1.0]) == (3, 0, 1)
+        assert sign_counts([0.0, 0.0]) == (0, 2, 0)
+        assert sign_counts([]) == (0, 0, 0)
+
+    def test_win_rate_half_tie_symmetry(self):
+        deltas = [-1.0, 0.0, 2.0, -3.0]
+        mirrored = [-d for d in deltas]
+        assert win_rate(deltas) + win_rate(mirrored) == 1.0
+        assert win_rate(deltas) == 0.625
+
+    def test_win_rate_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one pair"):
+            win_rate([])
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30),
+        st.permutations(range(30)),
+    )
+    def test_win_rate_order_invariant(self, deltas, order):
+        shuffled = [deltas[i] for i in order if i < len(deltas)]
+        assert win_rate(shuffled) == win_rate(deltas)
 
 
 class TestMeanStddev:

@@ -7,9 +7,12 @@ import pytest
 
 from repro.common import stats
 from repro.harness.sweep import (
+    StoreView,
     SweepCell,
+    SweepResult,
     SweepSpec,
     golden_matrix_spec,
+    record_cell,
     run_cell,
     run_sweep,
 )
@@ -135,6 +138,41 @@ class TestCells:
         cell = spec.expand()[0]
         assert run_cell(cell.to_dict()) == run_cell(cell)
 
+    def test_condition_key_drops_system_and_seed(self):
+        cell = SweepCell(
+            "bullet_prime", "oscillate", {"period": 4.0}, "mesh", 8, 24, 3,
+            900.0,
+        )
+        assert cell.condition_key() == "oscillate[period=4.0]|mesh|n8|b24"
+        assert cell.key() == (
+            f"{cell.system}|{cell.condition_key()}|s{cell.seed}"
+        )
+
+    def test_pipe_in_param_value_rejected(self):
+        # '|' is the key field separator; a value carrying it would make
+        # every rendered key ambiguous to parse.
+        with pytest.raises(ValueError, match="field separator"):
+            SweepCell(
+                "bullet_prime", "trace_replay", {"path": "a|b.json"},
+                "mesh", 8, 24, 1, 900.0,
+            )
+
+    def test_pipe_in_param_rejected_at_spec_time(self):
+        with pytest.raises(ValueError, match="field separator"):
+            SweepSpec(
+                scenarios=(
+                    {"name": "lossy", "params": {"base": "none|churn"}},
+                ),
+                **TINY,
+            ).expand()
+
+    def test_record_cell_roundtrips(self):
+        cell = SweepCell(
+            "bittorrent", "churn", {"period": 5.0}, "star", 6, 12, 2, 600.0
+        )
+        record = {"key": cell.key(), "cell": cell.to_dict(), "summary": {}}
+        assert record_cell(record).key() == cell.key()
+
 
 class TestExecutionAndOutputs:
     @pytest.fixture(scope="class")
@@ -195,3 +233,73 @@ class TestExecutionAndOutputs:
         seen = []
         run_sweep(spec, workers=1, progress=lambda done, total, key: seen.append((done, total, key)))
         assert [s[:2] for s in seen] == [(1, 2), (2, 2)]
+
+    def test_records_carry_structured_grouping_fields(self, result):
+        # Consumers group and pair on these, never by parsing the key.
+        for record in result.records:
+            cell = record_cell(record)
+            assert record["group"] == cell.group_key()
+            assert record["seed"] == cell.seed
+            assert record["key"] == f"{record['group']}|s{record['seed']}"
+
+
+class TestStoreView:
+    def _records(self, finished=(True, True)):
+        records = []
+        for seed, (done, median) in enumerate(zip(finished, (10.0, 14.0))):
+            cell = SweepCell(
+                "bullet_prime", "none", {}, "mesh", 6, 12, seed, 600.0
+            )
+            records.append(
+                {
+                    "key": cell.key(),
+                    "group": cell.group_key(),
+                    "seed": seed,
+                    "cell": cell.to_dict(),
+                    "summary": {
+                        "nodes": 6,
+                        "median": median,
+                        "p90": median + 2,
+                        "worst": median + 4,
+                        "finished": done,
+                        "duplicates": 0,
+                        "control_bytes": 0,
+                        "perf": {},
+                    },
+                }
+            )
+        return records
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        records = self._records()
+        path = tmp_path / "store.jsonl"
+        path.write_text(
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+        )
+        view = StoreView.from_jsonl(path)
+        assert view.records == records
+        assert len(view) == 2
+
+    def test_aggregates_exclude_unfinished_cells(self):
+        rows = StoreView(self._records(finished=(False, True))).aggregates()
+        (row,) = rows
+        assert (row["n_seeds"], row["n_finished"]) == (2, 1)
+        assert row["finished"] == 0.5
+        # Only the finished seed's value enters the statistics: the
+        # censored 10.0 (a lower bound, not a measurement) stays out.
+        assert row["median"] == stats.aggregate([14.0])
+
+    def test_aggregates_all_unfinished_reports_none(self):
+        rows = StoreView(self._records(finished=(False, False))).aggregates()
+        (row,) = rows
+        assert row["n_finished"] == 0
+        assert row["median"] is None
+        assert row["p90"] is None
+        assert row["worst"] is None
+
+    def test_render_aggregates_shows_na_for_censored_groups(self):
+        spec = SweepSpec(systems=("bullet_prime",), scenarios=("none",),
+                         nodes=(6,), blocks=(12,), seeds=(0, 1), max_time=600.0)
+        result = SweepResult(spec, self._records(finished=(False, False)))
+        text = result.render_aggregates()
+        assert "n/a" in text
