@@ -100,13 +100,25 @@ def test_bench_scenario_sweep(benchmark, bench_scale):
         },
     }
     # Written only on request: the committed BENCH_sweep.json is a
-    # recorded ledger entry, and an unconditional default path would let
+    # recorded ledger, and an unconditional default path would let
     # every plain pytest run clobber it at whatever scale happened to be
-    # configured.  CI sets REPRO_BENCH_LEDGER explicitly.
+    # configured.  CI sets REPRO_BENCH_LEDGER explicitly.  An existing
+    # file is *appended to*, not overwritten — the ledger grows into a
+    # list of entries (newest last), the PR-over-PR perf trajectory that
+    # ``perf_gate.latest_entry`` and the trend analytics read; a fresh
+    # path gets a plain single-entry dict.
     ledger_path = os.environ.get("REPRO_BENCH_LEDGER")
     if ledger_path:
+        document = ledger
+        if os.path.exists(ledger_path):
+            with open(ledger_path, "r", encoding="utf-8") as fh:
+                existing = json.load(fh)
+            if not isinstance(existing, list):
+                existing = [existing]
+            existing.append(ledger)
+            document = existing
         with open(ledger_path, "w", encoding="utf-8") as fh:
-            json.dump(ledger, fh, indent=1, sort_keys=True)
+            json.dump(document, fh, indent=1, sort_keys=True)
             fh.write("\n")
 
     print()

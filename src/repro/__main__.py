@@ -233,6 +233,11 @@ def _run_command(argv):
             "fd_suspects",
             "fd_rerequests",
             "fd_rejoins",
+            "gray_quarantines",
+            "gray_reprobes",
+            "gray_corrupt_detected",
+            "gray_dup_dropped",
+            "gray_reordered",
             "watchdog_fired",
         )
     }
@@ -283,6 +288,15 @@ def _run_command(argv):
                 "fd_rejoins",
             ):
                 print(f"  {key:14s} {fd_counters[key]}")
+            for key in (
+                "gray_quarantines",
+                "gray_reprobes",
+                "gray_corrupt_detected",
+                "gray_dup_dropped",
+                "gray_reordered",
+            ):
+                if fd_counters[key]:
+                    print(f"  {key:22s} {fd_counters[key]}")
             watchdog = "FIRED" if fd_counters["watchdog_fired"] else "clean"
             print(f"  {'watchdog':14s} {watchdog}")
         if invariant_report is not None:
@@ -342,7 +356,7 @@ def _parse_sweep_args(argv):
         "--golden-matrix",
         action="store_true",
         help="use the built-in acceptance matrix: every system x every "
-        "scenario x seeds 1,3,5,7 on the 8-node mesh (224 cells)",
+        "scenario x seeds 1,3,5,7 on the 8-node mesh (288 cells)",
     )
     parser.add_argument(
         "--systems", default=None, help="comma-separated system names/aliases"
@@ -727,7 +741,7 @@ def _perf_gate_command(argv):
 
     args = _parse_perf_gate_args(argv)
     try:
-        ledger = perf_gate.load_json(args.ledger)
+        ledger = perf_gate.latest_entry(perf_gate.load_json(args.ledger))
         if args.update:
             perf_gate.update_baseline(ledger, args.baseline)
             print(f"recorded perf-counter baseline to {args.baseline}")

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from repro.common.rng import split_rng
 from repro.common.units import KiB
 from repro.core.diffs import DiffTracker, diff_wire_size
-from repro.core.download import DownloadState
+from repro.core.download import DownloadState, block_checksum
 from repro.core.flow_control import OutstandingController
 from repro.core.peering import PeerSetPolicy
 from repro.core.request import AvailabilityView
@@ -99,6 +99,35 @@ class BulletPrimeConfig:
     #: presumed dead and the node climbs toward the root.
     fd_liveness_epochs: float = 3.0
 
+    # Gray-failure response.  Dormant until a gray fault (fail-slow,
+    # flaky link, message adversity) arms gray detection network-wide;
+    # crash-only runs never touch these paths.  The quarantine state
+    # machine is deliberately asymmetric — fast backoff (exponential
+    # hold per offense), slow recovery (a probation of clean epochs
+    # before the record clears) — the GREEN/YELLOW/RED shape adaptive
+    # controllers converge on for loss-vs-delay ambiguity.
+    #: Master switch for sender quality scoring + quarantine.
+    quarantine_enabled: bool = True
+    #: EWMA smoothing for per-sender goodput quality.
+    quality_alpha: float = 0.3
+    #: A sender is a straggler when its quality falls below this
+    #: fraction of the mean sender quality...
+    straggler_fraction: float = 0.35
+    #: ...for this many consecutive epochs while misbehaving (timeouts,
+    #: corrupt blocks, or lagging on outstanding requests).
+    straggler_epochs: int = 2
+    #: Corrupted blocks from one sender (per connection) that trigger an
+    #: immediate quarantine — a checksum mismatch is unambiguous
+    #: evidence of a gray path, so this bypasses the slow EWMA rule
+    #: entirely.  0 disables the shortcut.
+    corrupt_quarantine: int = 2
+    #: First-offense quarantine hold in seconds; doubles per re-offense.
+    quarantine_base: float = 20.0
+    #: Cap on the exponential quarantine hold.
+    quarantine_max: float = 240.0
+    #: Clean epochs a re-probed peer must serve before its record clears.
+    quarantine_probation: int = 2
+
     seed: int = 0
 
     def policy_pair(self):
@@ -131,6 +160,11 @@ class _SenderState:
         "fd_timer",
         "fd_armed_at",
         "fd_retries",
+        "quality",
+        "timeouts",
+        "corrupts",
+        "corrupt_total",
+        "slow_epochs",
     )
 
     def __init__(self, conn, peer, controller):
@@ -156,6 +190,14 @@ class _SenderState:
         self.fd_timer = None
         self.fd_armed_at = 0.0
         self.fd_retries = 0
+        #: Gray-failure quality tracking: EWMA goodput (-1.0 until the
+        #: first epoch measurement lands), detector timeouts and corrupt
+        #: blocks this epoch, and consecutive below-threshold epochs.
+        self.quality = -1.0
+        self.timeouts = 0
+        self.corrupts = 0
+        self.corrupt_total = 0
+        self.slow_epochs = 0
 
 
 class _ReceiverState:
@@ -210,9 +252,15 @@ class BulletPrimeNode(OverlayProtocol):
         self._pending_senders = set()  # peer ids with connects in flight
         #: Blocks requested from any sender (prevents duplicate requests).
         self.requested = set()
-        #: Blocks stranded in flight when a sender was declared dead;
-        #: membership tags the re-request so it is counted once.
+        #: Blocks stranded in flight when a sender was declared dead (or
+        #: discarded as corrupt); membership tags the re-request so it is
+        #: counted once.
         self._orphaned = set()
+        #: Gray-failure quarantine ledger: peer id ->
+        #: ``[level, until, probation]``.  Entries outlive the peering —
+        #: a chronic straggler must not be re-adopted the next epoch just
+        #: because its connection is gone.
+        self._quarantine = {}
         #: True while a tree (re-)attach handshake is in flight.
         self._tree_connecting = False
         #: Set when a repair or restart detaches us from the tree; the
@@ -417,6 +465,10 @@ class BulletPrimeNode(OverlayProtocol):
         )
         # Exponential backoff per retry round, jittered so a wave of
         # detectors armed by the same fault does not fire in lockstep.
+        # The jitter is deliberately one-sided (+0-10%, never early): a
+        # symmetric ±10% could fire *before* the nominal deadline and
+        # suspect a peer that was still inside its window.  Recorded
+        # fault-scenario cells pin this exact form.
         return base * (2.0**sender.fd_retries) * (1.0 + 0.1 * self.rng.random())
 
     def _arm_sender_detector(self, conn):
@@ -445,6 +497,7 @@ class BulletPrimeNode(OverlayProtocol):
         if sender.fd_retries < self.config.fd_max_retries:
             # Retry round: re-send every outstanding request and back off.
             sender.fd_retries += 1
+            sender.timeouts += 1
             self.failure_stats["retries"] += 1
             for block in sorted(sender.outstanding):
                 conn.send(
@@ -524,11 +577,21 @@ class BulletPrimeNode(OverlayProtocol):
 
     def _measure_bandwidth(self, elapsed):
         incoming = 0.0
+        gray = self._gray_enabled
+        alpha = self.config.quality_alpha
         for s in self.senders.values():
             received = s.conn.bytes_received
             s.epoch_bw = (received - s.bytes_mark) / elapsed
             s.bytes_mark = received
             incoming += s.epoch_bw
+            if gray:
+                # EWMA goodput quality: the straggler signal.  Seeded
+                # from the first measured epoch so a brand-new sender is
+                # never judged against an all-zero history.
+                if s.quality < 0.0:
+                    s.quality = s.epoch_bw
+                else:
+                    s.quality = alpha * s.epoch_bw + (1.0 - alpha) * s.quality
         if self._tree_parent_conn is not None and not self._tree_parent_conn.closed:
             incoming += (
                 self._tree_parent_conn.bytes_received
@@ -549,6 +612,9 @@ class BulletPrimeNode(OverlayProtocol):
             return  # the source only serves
         policy = self.sender_policy
         policy.manage(len(self.senders), self._epoch_incoming_bw)
+
+        if self._gray_enabled and self.config.quarantine_enabled:
+            self._update_quarantine()
 
         # Dead-weight senders: no bytes delivered, nothing outstanding and
         # nothing useful advertised for two consecutive epochs.  The
@@ -577,12 +643,17 @@ class BulletPrimeNode(OverlayProtocol):
         if want <= 0 or self.state.complete:
             return
         current_peers = {s.peer for s in self.senders.values()}
+        now = self.sim.now
         candidates = []
         for summary in summaries:
             if summary.node_id == self.node_id:
                 continue
             if summary.node_id in current_peers or summary.node_id in self._pending_senders:
                 continue
+            if self._quarantine:
+                record = self._quarantine.get(summary.node_id)
+                if record is not None and now < record[1]:
+                    continue  # still serving its quarantine hold
             usefulness = self._estimate_useful(summary)
             if usefulness > 0:
                 candidates.append((usefulness, summary.node_id))
@@ -610,6 +681,85 @@ class BulletPrimeNode(OverlayProtocol):
         missing = sum(1 for b in summary.sample_blocks if self.state.wants(b))
         fraction = missing / len(summary.sample_blocks)
         return summary.blocks_held * fraction
+
+    # -- gray-failure response: sender quality + quarantine ---------------------------
+
+    def _quarantine_peer(self, peer):
+        """Open (or extend) ``peer``'s quarantine: fast backoff.
+
+        Each offense doubles the hold (capped), so a chronically gray
+        peer is consulted exponentially less often while a one-off
+        victim of a transient window gets back in quickly.
+        """
+        record = self._quarantine.get(peer)
+        level = record[0] + 1 if record is not None else 1
+        hold = min(
+            self.config.quarantine_base * (2.0 ** (level - 1)),
+            self.config.quarantine_max,
+        )
+        self._quarantine[peer] = [level, self.sim.now + hold, 0]
+        self.failure_stats["quarantines"] += 1
+
+    def _update_quarantine(self):
+        """Per-epoch quarantine bookkeeping (gray detection armed only).
+
+        Two jobs: (1) catch chronic stragglers — senders that misbehaved
+        this epoch (detector timeouts or corrupt blocks) *and* whose
+        EWMA goodput sits below ``straggler_fraction`` of the mean for
+        ``straggler_epochs`` consecutive epochs — and quarantine them;
+        (2) walk re-probed peers through probation — slow recovery: only
+        ``quarantine_probation`` consecutive clean epochs clear the
+        record, and any offense during probation re-quarantines at the
+        next backoff level immediately.
+        """
+        senders = self.senders
+        measured = [s.quality for s in senders.values() if s.quality >= 0.0]
+        mean_quality = sum(measured) / len(measured) if measured else 0.0
+        threshold = self.config.straggler_fraction * mean_quality
+        corrupt_cap = self.config.corrupt_quarantine
+        for conn, s in list(senders.items()):
+            if corrupt_cap > 0 and s.corrupt_total >= corrupt_cap:
+                # Chronic corrupter: no EWMA deliberation needed.
+                self._quarantine_peer(s.peer)
+                self._drop_sender(conn, initiated=True)
+                continue
+            # An "offense" is hard evidence of grayness: a detector
+            # timeout, a corrupt block, or lagging delivery on work we
+            # actually asked for (outstanding requests pending while the
+            # EWMA sits below threshold — a fail-slow host answers every
+            # message, so it never times out; the dribbling goodput *is*
+            # the signal).  A sender we simply have not used is innocent.
+            offended = (
+                s.timeouts > 0
+                or s.corrupts > 0
+                or (
+                    bool(s.outstanding)
+                    and 0.0 <= s.quality < threshold
+                )
+            )
+            record = self._quarantine.get(s.peer)
+            if record is not None and record[2] > 0:
+                # On probation after a re-probe.
+                if offended:
+                    self._quarantine_peer(s.peer)
+                    self._drop_sender(conn, initiated=True)
+                    continue
+                record[2] -= 1
+                if record[2] == 0:
+                    del self._quarantine[s.peer]  # clean: record cleared
+            elif offended and len(senders) > 1 and s.quality >= 0.0:
+                if s.quality < threshold:
+                    s.slow_epochs += 1
+                    if s.slow_epochs >= self.config.straggler_epochs:
+                        self._quarantine_peer(s.peer)
+                        self._drop_sender(conn, initiated=True)
+                        continue
+                else:
+                    s.slow_epochs = 0
+            else:
+                s.slow_epochs = 0
+            s.timeouts = 0
+            s.corrupts = 0
 
     def _manage_receivers(self):
         policy = self.receiver_policy
@@ -684,7 +834,11 @@ class BulletPrimeNode(OverlayProtocol):
         conn.send(
             Message(
                 "bp_block",
-                payload={"block": block, "pushed": False},
+                payload={
+                    "block": block,
+                    "pushed": False,
+                    "csum": block_checksum(block),
+                },
                 size=self.config.block_size,
                 is_block=True,
             )
@@ -740,6 +894,13 @@ class BulletPrimeNode(OverlayProtocol):
         state.bytes_mark = conn.bytes_received
         self.senders[conn] = state
         self.avail.add_sender(conn)
+        record = self._quarantine.get(peer)
+        if record is not None:
+            # Re-adopting a peer whose quarantine hold expired: a slow
+            # re-probe.  Probation starts — the record (and its backoff
+            # level) only clears after consecutive clean epochs.
+            record[2] = self.config.quarantine_probation
+            self.failure_stats["reprobes"] += 1
         have = self.arrival_order if not self.config.encoded else list(self.state.blocks())
         conn.send(
             Message(
@@ -764,6 +925,11 @@ class BulletPrimeNode(OverlayProtocol):
     def on_bp_block(self, conn, message):
         block = message.payload["block"]
         pushed = message.payload.get("pushed", False)
+        if self._gray_enabled:
+            csum = message.payload.get("csum")
+            if csum is not None and csum != block_checksum(block):
+                self._corrupt_block(conn, block, pushed)
+                return
         sender = self.senders.get(conn)
         if sender is not None and not pushed:
             sender.last_data_at = self.sim.now
@@ -794,6 +960,39 @@ class BulletPrimeNode(OverlayProtocol):
             self.avail.learn(conn, (block,))
         self._ingest_block(block)
         if sender is not None:
+            self._pump_sender(conn)
+
+    def _corrupt_block(self, conn, block, pushed):
+        """A block arrived whose checksum does not match: discard it.
+
+        The block is never ingested (no poisoned download), the event is
+        counted, and — when it came from a pulled request — the block is
+        orphaned and re-requested from an alternate mesh peer, the same
+        salvage path a dead sender's in-flight blocks take.  The sender
+        is charged a corruption offense toward quarantine.
+        """
+        self.failure_stats["corrupt_detected"] += 1
+        sender = self.senders.get(conn)
+        if sender is not None and not pushed:
+            # The path is alive (bytes crossed the wire); only the data
+            # was bad.  Clear the in-flight bookkeeping so the block is
+            # requestable again.
+            sender.last_data_at = self.sim.now
+            sender.outstanding.discard(block)
+            self.requested.discard(block)
+            sender.corrupts += 1
+            sender.corrupt_total += 1
+            if sender.marked_block == block:
+                sender.marked_block = None
+        if self.state.wants(block):
+            self._orphaned.add(block)
+        if sender is not None:
+            # Prefer an alternate peer for the re-request; fall back to
+            # the same sender (corruption is probabilistic, a retry may
+            # well succeed).
+            for other in list(self.senders):
+                if other is not conn:
+                    self._pump_sender(other)
             self._pump_sender(conn)
 
     def _ingest_block(self, block):

@@ -17,13 +17,35 @@ Two layers:
 
 import hashlib
 import math
+from functools import lru_cache
 
 from repro.common.bitmap import BlockBitmap
 
-__all__ = ["DownloadState", "FileObject", "ENCODING_OVERHEAD"]
+__all__ = [
+    "DownloadState",
+    "FileObject",
+    "ENCODING_OVERHEAD",
+    "block_checksum",
+]
 
 #: Reception overhead the paper charges rateless codes (sections 2.2, 4.2).
 ENCODING_OVERHEAD = 0.04
+
+
+@lru_cache(maxsize=8192)
+def block_checksum(block):
+    """Deterministic integrity tag for a block.
+
+    The simulator never carries real block bytes, so the checksum is
+    derived from the block id — a stand-in for the per-block content hash
+    a deployment would compute.  Senders attach it to block messages
+    (``payload["csum"]``) and checksum-verifying receivers recompute it
+    on arrival; :class:`~repro.sim.transport.MessageAdversity` models
+    in-flight corruption by perturbing the attached value.  Cached: block
+    ids repeat on every serve.
+    """
+    digest = hashlib.blake2b(repr(block).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
 
 
 class DownloadState:

@@ -14,6 +14,7 @@ In encoded mode there is no "once through the file": the source emits a
 stream of continually increasing encoded block numbers.
 """
 
+from repro.core.download import block_checksum
 from repro.sim.transport import Message
 
 __all__ = ["SourcePusher"]
@@ -108,7 +109,11 @@ class SourcePusher:
                 conn.send(
                     Message(
                         self.block_kind,
-                        payload={"block": block, "pushed": True},
+                        payload={
+                            "block": block,
+                            "pushed": True,
+                            "csum": block_checksum(block),
+                        },
                         size=self.block_size,
                         is_block=True,
                     )

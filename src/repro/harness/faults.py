@@ -1,13 +1,14 @@
-"""Fault injection: node crashes, restarts, partitions, and liveness.
+"""Fault injection: crashes, restarts, partitions, gray failures, liveness.
 
 The :class:`FaultInjector` is the one actuation point for node-level
 failures.  Scenarios reach it through the
 :class:`~repro.scenarios.base.ScenarioContext` actuators
-(``fail_node`` / ``restart_node`` / ``partition``); the experiment
-harness builds one per run and reads its ``failed`` /
-``pending_restarts`` sets for the completion condition.
+(``fail_node`` / ``restart_node`` / ``partition`` / ``degrade_node`` /
+``flake_node`` / ``arm_adversity``); the experiment harness builds one
+per run and reads its ``failed`` / ``pending_restarts`` sets for the
+completion condition.
 
-Failure semantics are *silent*: a crashed node aborts every connection
+Crash semantics are *silent*: a crashed node aborts every connection
 without notifying peers (no FINs cross the wire) and its endpoint
 black-holes handshakes, so the rest of the overlay can only learn of the
 death through its own failure detectors.  The injector therefore arms
@@ -16,9 +17,41 @@ detection network-wide — ``Network.fault_detection`` plus each node's
 at the **first** actual fault actuation.  Fault-free runs (and a
 ``chaos`` scenario with rate 0) never arm anything, which is what keeps
 their event timelines bit-identical to the legacy golden matrix.
+
+*Gray* failures — fail-slow nodes (:meth:`FaultInjector.degrade_node`),
+intermittently lossy links (:meth:`FaultInjector.flake_node`), and
+message-level adversity (:meth:`FaultInjector.arm_adversity`) — arm a
+second, stricter tier on top: ``gray_detection_started()`` per node,
+which enables checksum verification and sender quarantine.  The split
+matters because gray responses change protocol behavior beyond crash
+detection; arming them under plain crash scenarios would perturb the
+recorded crash/chaos timelines.
 """
 
 __all__ = ["FaultInjector", "LivenessWatchdog"]
+
+
+def _overlay_loss(current, extra):
+    """Add an independent loss process on top of ``current`` (same
+    multiplicative composition and clamping as the scenario-side
+    ``repro.scenarios.dynamics._overlay_loss`` — kept local so the
+    harness never imports the scenario package)."""
+    value = 1.0 - (1.0 - current) * (1.0 - extra)
+    if value < 0.0:
+        return 0.0
+    if value >= 1.0:
+        return 0.999999
+    return value
+
+
+def _remove_loss(current, extra):
+    """Inverse of :func:`_overlay_loss` (same clamping)."""
+    value = 1.0 - (1.0 - current) / (1.0 - extra)
+    if value < 0.0:
+        return 0.0
+    if value >= 1.0:
+        return 0.999999
+    return value
 
 
 class LivenessWatchdog:
@@ -111,15 +144,21 @@ class FaultInjector:
         #: the harness keeps the run alive while this is non-empty.
         self.pending_restarts = set()
         #: ``failure_stats`` salvaged from pre-crash node incarnations,
-        #: so restart does not lose their counter contributions.
-        self.salvaged_stats = {
-            "retries": 0,
-            "suspects": 0,
-            "rerequests": 0,
-            "rejoins": 0,
-        }
+        #: so restart does not lose their counter contributions.  Keys
+        #: mirror whatever the protocol's ``failure_stats`` carries.
+        self.salvaged_stats = {}
         self.armed = False
+        self.gray_armed = False
         self._partition_active = False
+        #: node_id -> (squeezed uplinks, factor, stretch) while fail-slow
+        #: degraded; inverse-restored by :meth:`restore_node`.
+        self.degraded = {}
+        #: Count of flaky-link windows actuated (introspection/tests).
+        self.flakes_applied = 0
+        #: The run's :class:`~repro.sim.transport.MessageAdversity`, kept
+        #: here even after :meth:`disarm_adversity` so its counters
+        #: survive into the end-of-run summary.
+        self.adversity = None
 
     # -- arming ---------------------------------------------------------------
 
@@ -137,6 +176,21 @@ class FaultInjector:
             node.fault_detection_started()
         if self.watchdog is not None:
             self.watchdog.arm()
+
+    def arm_gray(self):
+        """Arm gray-failure detection network-wide (idempotent).
+
+        Every gray actuation path calls this first.  Implies
+        :meth:`arm`, then additionally enables each node's gray
+        responses — checksum verification, sender quality scoring, and
+        quarantine — which plain crash scenarios never get.
+        """
+        self.arm()
+        if self.gray_armed:
+            return
+        self.gray_armed = True
+        for node in self.nodes.values():
+            node.gray_detection_started()
 
     @property
     def partition_active(self):
@@ -204,12 +258,19 @@ class FaultInjector:
         old = self.nodes.get(node_id)
         if old is not None:
             for key, value in old.failure_stats.items():
-                self.salvaged_stats[key] += value
+                self.salvaged_stats[key] = self.salvaged_stats.get(key, 0) + value
         self.network.endpoint(node_id).revive()
         node = self.nodes.rebuild(node_id)
         if self.invariants is not None:
             self.invariants.wrap(node)
         node.fault_detection_started()
+        if self.gray_armed:
+            node.gray_detection_started()
+        degraded = self.degraded.get(node_id)
+        if degraded is not None:
+            # The host is still fail-slow: the new incarnation inherits
+            # the stretch (the uplink squeeze lives on the links anyway).
+            node.timer_stretch = degraded[2]
         # The next successful tree attach is a re-join, not a first join.
         node._fd_rejoin_pending = True
         self.failed.discard(node_id)
@@ -262,4 +323,159 @@ class FaultInjector:
             self._partition_active = False
 
         self.sim.schedule(duration, heal)
+        return True
+
+    # -- gray failures ---------------------------------------------------------
+
+    def _node_uplinks(self, node_id):
+        """Links carrying ``node_id``'s outbound traffic (access uplink
+        when modeled, else every core link out of the node)."""
+        up = self.topology.access_up.get(node_id)
+        if up is not None:
+            return [up]
+        return [
+            link
+            for (src, _dst), link in sorted(self.topology.core.items())
+            if src == node_id
+        ]
+
+    def _node_downlinks(self, node_id):
+        """Mirror of :meth:`_node_uplinks` for inbound traffic."""
+        down = self.topology.access_down.get(node_id)
+        if down is not None:
+            return [down]
+        return [
+            link
+            for (_src, dst), link in sorted(self.topology.core.items())
+            if dst == node_id
+        ]
+
+    def degrade_node(self, node_id, factor=0.25, stretch=2.0, duration=None):
+        """Make ``node_id`` *fail-slow*: alive, responsive, useless.
+
+        The node's uplink capacity is multiplicatively squeezed to
+        ``factor`` (composable with concurrent link scenarios, healed by
+        the inverse — the partition trick) and every one-shot protocol
+        timer on the victim is stretched by ``stretch``, modeling a host
+        whose process still runs but crawls (GC thrash, disk stall,
+        oversubscribed CPU).  With ``duration`` set the degradation
+        auto-restores; otherwise it holds until :meth:`restore_node`.
+        Returns False if the node is already degraded.
+        """
+        if node_id == self.source_id:
+            raise ValueError("the source cannot be degraded (it is the data)")
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node {node_id!r}")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        if stretch < 1.0:
+            raise ValueError(f"stretch must be >= 1, got {stretch}")
+        if duration is not None and duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        if node_id in self.degraded:
+            return False
+        self.arm_gray()
+        links = self._node_uplinks(node_id)
+        for link in links:
+            link.scale_capacity(factor)
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.timer_stretch = stretch
+        self.degraded[node_id] = (links, factor, stretch)
+        if duration is not None:
+            self.sim.schedule(duration, self.restore_node, node_id)
+        return True
+
+    def restore_node(self, node_id):
+        """Undo :meth:`degrade_node` (idempotent; returns False if the
+        node was not degraded)."""
+        entry = self.degraded.pop(node_id, None)
+        if entry is None:
+            return False
+        links, factor, _stretch = entry
+        for link in links:
+            link.scale_capacity(1.0 / factor)
+        node = self.nodes.get(node_id)
+        if node is not None:
+            node.timer_stretch = 1.0
+        return True
+
+    def flake_node(self, node_id, loss=0.9, duration=5.0, direction="both"):
+        """Open a gray-link window on ``node_id``'s access links.
+
+        An additional loss process of probability ``loss`` is overlaid
+        (multiplicatively, clamped below 1.0 — the near-1.0 regime is an
+        intermittent black hole: TCP rates collapse through the Mathis
+        cap and control messages stall on retransmission timeouts) on
+        the node's uplinks, downlinks, or both per ``direction``, then
+        removed after ``duration`` seconds.  Windows on the same node
+        compose; each removal is exact-inverse.
+        """
+        if node_id == self.source_id:
+            raise ValueError("the source cannot be flaked (it is the data)")
+        if node_id not in self.nodes:
+            raise ValueError(f"unknown node {node_id!r}")
+        if not 0.0 < loss <= 1.0:
+            raise ValueError(f"loss must be in (0, 1], got {loss}")
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        if direction not in ("up", "down", "both"):
+            raise ValueError(
+                f"direction must be 'up', 'down', or 'both', got {direction!r}"
+            )
+        self.arm_gray()
+        links = []
+        if direction in ("up", "both"):
+            links.extend(self._node_uplinks(node_id))
+        if direction in ("down", "both"):
+            links.extend(self._node_downlinks(node_id))
+        for link in links:
+            link.loss_rate = _overlay_loss(link.loss_rate, loss)
+        self.flakes_applied += 1
+
+        def clear():
+            for link in links:
+                link.loss_rate = _remove_loss(link.loss_rate, loss)
+
+        self.sim.schedule(duration, clear)
+        return True
+
+    def arm_adversity(
+        self, rng, duplicate=0.0, reorder=0.0, reorder_window=0.5, corrupt=0.0
+    ):
+        """Install message-level adversity on the run's network.
+
+        ``rng`` must be a dedicated stream (scenarios derive one via
+        ``ctx.rng``) so the mischief is a pure function of the scenario
+        seed.  Only one adversity process may be active at a time; a
+        second request is refused (returns False), mirroring
+        :meth:`partition`.
+        """
+        if self.network.adversity is not None:
+            return False
+        from repro.sim.transport import MessageAdversity
+
+        self.arm_gray()
+        adversity = MessageAdversity(
+            self.sim,
+            rng,
+            duplicate=duplicate,
+            reorder=reorder,
+            reorder_window=reorder_window,
+            corrupt=corrupt,
+        )
+        if self.adversity is not None:
+            # A disarm/re-arm cycle: carry the counters forward so the
+            # end-of-run totals span every adversity window.
+            adversity.stats = self.adversity.stats
+        self.adversity = adversity
+        self.network.adversity = adversity
+        return True
+
+    def disarm_adversity(self):
+        """Stop perturbing messages; counters remain readable on
+        ``self.adversity``.  Returns False when nothing was armed."""
+        if self.network.adversity is None:
+            return False
+        self.network.adversity = None
         return True

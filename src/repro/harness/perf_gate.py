@@ -18,7 +18,13 @@ ledger's counters as the new baseline instead.
 
 import json
 
-__all__ = ["GATE_COUNTERS", "check_ledger", "load_json", "update_baseline"]
+__all__ = [
+    "GATE_COUNTERS",
+    "check_ledger",
+    "latest_entry",
+    "load_json",
+    "update_baseline",
+]
 
 #: The gated counters: noise-free measures of event-core and allocator
 #: work.  Intentionally a subset of ``perf_totals`` — counters that sum
@@ -38,6 +44,21 @@ SCALE_FIELDS = ("benchmark", "nodes", "blocks", "cells", "scenarios", "seeds")
 def load_json(path):
     with open(path, "r", encoding="utf-8") as fh:
         return json.load(fh)
+
+
+def latest_entry(doc):
+    """The most recent ledger entry in ``doc``.
+
+    The scenario-sweep benchmark appends to an existing ledger file
+    instead of clobbering it, so a committed ledger grows into a list of
+    entries (newest last) — the PR-over-PR perf trajectory.  A plain
+    dict (single-entry ledger) passes through unchanged.
+    """
+    if isinstance(doc, list):
+        if not doc:
+            raise ValueError("ledger list is empty")
+        return doc[-1]
+    return doc
 
 
 def baseline_from_ledger(ledger, counters=GATE_COUNTERS):

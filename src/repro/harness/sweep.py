@@ -317,7 +317,7 @@ class SweepSpec:
 
 def golden_matrix_spec(seeds=(1, 3, 5, 7), nodes=8, blocks=24, max_time=900.0):
     """The acceptance matrix: every system x every scenario x ``seeds``
-    on the paper's mesh — the 224 cells recorded in
+    on the paper's mesh — the 288 cells recorded in
     ``tests/data/golden_matrix_summaries.json``."""
     return SweepSpec(
         systems=SYSTEMS.names(),

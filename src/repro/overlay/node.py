@@ -30,12 +30,17 @@ class OverlayProtocol:
         self.crashed = False
         #: Failure-handling work done by this node, summed into
         #: ``summary()["perf"]`` by the harness.  All zeros unless fault
-        #: detection was armed at some point during the run.
+        #: detection was armed at some point during the run; the last
+        #: three (quarantines, re-probes, corruption detections) further
+        #: require *gray* detection (see :meth:`gray_detection_started`).
         self.failure_stats = {
             "retries": 0,
             "suspects": 0,
             "rerequests": 0,
             "rejoins": 0,
+            "quarantines": 0,
+            "reprobes": 0,
+            "corrupt_detected": 0,
         }
 
     # -- wiring ----------------------------------------------------------------
@@ -90,9 +95,29 @@ class OverlayProtocol:
         """
         self._fd_enabled = True
 
+    def gray_detection_started(self):
+        """A *gray* fault (fail-slow, flaky link, message adversity) was
+        actuated somewhere in the network.
+
+        Distinct from :meth:`fault_detection_started` on purpose: the
+        gray responses (checksum verification, sender quality scoring,
+        quarantine) alter protocol behavior beyond pure crash detection,
+        and arming them under plain crash scenarios would perturb their
+        recorded timelines.  Crash detection is always armed before (or
+        with) gray detection.
+        """
+        self._gray_enabled = True
+
     # -- helpers -----------------------------------------------------------------
 
     _fd_enabled = False
+    _gray_enabled = False
+    #: Fail-slow degradation (see ``FaultInjector.degrade_node``)
+    #: multiplies every one-shot protocol timer on the victim — the
+    #: "process runs, but slowly" half of a gray failure.  Periodic
+    #: timers (epoch clocks) deliberately keep pace: a straggler's clock
+    #: still ticks, its *work* is what lags.
+    timer_stretch = 1.0
 
     def connect(self, remote_id, on_connect, timeout=None, on_timeout=None):
         """Open a connection; the callback receives it fully wired.
@@ -138,6 +163,8 @@ class OverlayProtocol:
             if not self.stopped:
                 fn()
 
+        if self.timer_stretch != 1.0:
+            delay *= self.timer_stretch
         timer = self.sim.schedule(delay, guarded)
         self._timers.append(timer)
         return timer

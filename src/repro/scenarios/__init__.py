@@ -24,6 +24,10 @@ Catalogue (all registered in :data:`repro.harness.registry.SCENARIOS`):
 ``crash_restart``     nodes crash, lose all state, rejoin after a downtime
 ``partition``         split into islands for a window, then heal
 ``chaos``             seeded composite crash/restart/partition stream
+``fail_slow``         gray stragglers: uplink squeeze + stretched timers
+``flaky``             intermittent heavy-loss windows on access links
+``adversarial``       message duplication, reordering, payload corruption
+``gray_chaos``        ``chaos`` plus degrade/flake events and adversity
 ====================  =======================================================
 
 Scenarios actuate the full link-condition engine — capacity, loss rate,
@@ -68,9 +72,13 @@ from repro.scenarios.dynamics import (
     lossy,
 )
 from repro.scenarios.failures import (
+    Adversarial,
     Chaos,
     Crash,
     CrashRestart,
+    FailSlow,
+    Flaky,
+    GrayChaos,
     Partition,
 )
 from repro.scenarios.tracefile import (
@@ -100,6 +108,10 @@ __all__ = [
     "CrashRestart",
     "Partition",
     "Chaos",
+    "FailSlow",
+    "Flaky",
+    "Adversarial",
+    "GrayChaos",
     "TraceRecorder",
     "TraceReplay",
     "read_csv_trace",
@@ -372,6 +384,129 @@ SCENARIOS.register(
               description="cap on permanently dead receivers, [0, 1]"),
         Param("squeeze", "float", default=1e-3,
               description="cross-island capacity multiplier while split"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for the fault stream"),
+    ),
+)
+SCENARIOS.register(
+    "fail_slow",
+    FailSlow,
+    description="gray stragglers: uplink squeeze plus stretched timers",
+    aliases=("straggler",),
+    params=(
+        Param("fraction", "float", default=0.25,
+              description="fraction of receivers degraded, [0, 1] (0: none)"),
+        Param("count", "int", default=0,
+              description="exact victim count (0: use fraction)"),
+        Param("factor", "float", default=0.2,
+              description="uplink capacity multiplier while degraded, (0, 1]"),
+        Param("stretch", "float", default=2.0,
+              description="one-shot protocol timer multiplier, >= 1"),
+        Param("start", "float", default=10.0,
+              description="first degradation, seconds after installation"),
+        Param("stagger", "float", default=2.0,
+              description="seconds between successive degradations"),
+        Param("duration", "float", default=45.0,
+              description="seconds before a victim heals (None: permanent)"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for victim choice"),
+    ),
+)
+SCENARIOS.register(
+    "flaky",
+    Flaky,
+    description="intermittent heavy-loss (gray-link) windows on access links",
+    aliases=("gray_links",),
+    params=(
+        Param("fraction", "float", default=0.25,
+              description="fraction of receivers made flaky, [0, 1] (0: none)"),
+        Param("count", "int", default=0,
+              description="exact victim count (0: use fraction)"),
+        Param("loss", "float", default=0.9,
+              description="loss overlaid during a window, [0, 1] (0: none)"),
+        Param("window", "float", default=4.0,
+              description="seconds each loss window holds"),
+        Param("gap", "float", default=8.0,
+              description="mean clean seconds between windows (exponential)"),
+        Param("start", "float", default=5.0,
+              description="flaky period opens this many seconds in"),
+        Param("duration", "float", default=60.0,
+              description="length of the flaky period in seconds"),
+        Param("direction", "str", default="random",
+              description="'up', 'down', 'both', or 'random' per window"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for the schedule"),
+    ),
+)
+SCENARIOS.register(
+    "adversarial",
+    Adversarial,
+    description="message duplication, bounded reordering, payload corruption",
+    aliases=("byzantine_links",),
+    params=(
+        Param("duplicate", "float", default=0.01,
+              description="per-message duplication probability, [0, 1)"),
+        Param("reorder", "float", default=0.05,
+              description="control-message reorder probability, [0, 1)"),
+        Param("reorder_window", "float", default=0.5,
+              description="max extra delay for a reordered message (seconds)"),
+        Param("corrupt", "float", default=0.01,
+              description="per-block payload corruption probability, [0, 1)"),
+        Param("start", "float", default=5.0,
+              description="adversity arms this many seconds in"),
+        Param("stop", "float", default=None,
+              description="disarm at this time (None: run forever)"),
+        Param("seed", "int", default=None,
+              description="override the experiment seed for the mischief"),
+    ),
+)
+SCENARIOS.register(
+    "gray_chaos",
+    GrayChaos,
+    description="chaos plus fail-slow/flaky events and message adversity",
+    params=(
+        Param("rate", "float", default=0.1,
+              description="fault events per second (0: no faults at all)"),
+        Param("start", "float", default=5.0,
+              description="fault window opens this many seconds in"),
+        Param("duration", "float", default=120.0,
+              description="length of the fault window in seconds"),
+        Param("down_time", "float", default=15.0,
+              description="downtime of crash-with-restart events"),
+        Param("partition_duration", "float", default=15.0,
+              description="seconds each partition event holds"),
+        Param("crash_weight", "float", default=0.5,
+              description="relative weight of permanent-crash events"),
+        Param("restart_weight", "float", default=1.0,
+              description="relative weight of crash-with-restart events"),
+        Param("partition_weight", "float", default=0.25,
+              description="relative weight of partition events"),
+        Param("degrade_weight", "float", default=2.0,
+              description="relative weight of fail-slow degrade events"),
+        Param("flake_weight", "float", default=1.5,
+              description="relative weight of gray-link flake events"),
+        Param("max_dead_fraction", "float", default=0.25,
+              description="cap on permanently dead receivers, [0, 1]"),
+        Param("squeeze", "float", default=1e-3,
+              description="cross-island capacity multiplier while split"),
+        Param("degrade_factor", "float", default=0.2,
+              description="uplink multiplier of degrade events, (0, 1]"),
+        Param("stretch", "float", default=2.0,
+              description="timer multiplier of degrade events, >= 1"),
+        Param("degrade_duration", "float", default=40.0,
+              description="seconds a degrade event holds before healing"),
+        Param("flake_loss", "float", default=0.9,
+              description="loss overlaid during a flake window, (0, 1]"),
+        Param("flake_window", "float", default=4.0,
+              description="seconds each flake window holds"),
+        Param("duplicate", "float", default=0.01,
+              description="per-message duplication probability, [0, 1)"),
+        Param("reorder", "float", default=0.05,
+              description="control-message reorder probability, [0, 1)"),
+        Param("reorder_window", "float", default=0.5,
+              description="max extra delay for a reordered message (seconds)"),
+        Param("corrupt", "float", default=0.02,
+              description="per-block payload corruption probability, [0, 1)"),
         Param("seed", "int", default=None,
               description="override the experiment seed for the fault stream"),
     ),

@@ -93,6 +93,43 @@ class ScenarioContext:
         (cross-island core links collapse to a trickle), then heal."""
         return self._require_faults().partition(islands, duration, squeeze)
 
+    def degrade_node(self, node_id, factor=0.25, stretch=2.0, duration=None):
+        """Make ``node_id`` fail-slow: uplink capacity squeezed to
+        ``factor``, one-shot protocol timers stretched by ``stretch``;
+        auto-restored after ``duration`` seconds (None: until
+        :meth:`restore_node`)."""
+        return self._require_faults().degrade_node(
+            node_id, factor=factor, stretch=stretch, duration=duration
+        )
+
+    def restore_node(self, node_id):
+        """Undo :meth:`degrade_node` on ``node_id``."""
+        return self._require_faults().restore_node(node_id)
+
+    def flake_node(self, node_id, loss=0.9, duration=5.0, direction="both"):
+        """Overlay a heavy-loss window on ``node_id``'s access links for
+        ``duration`` seconds (``direction``: 'up', 'down', or 'both')."""
+        return self._require_faults().flake_node(
+            node_id, loss=loss, duration=duration, direction=direction
+        )
+
+    def arm_adversity(
+        self, rng, duplicate=0.0, reorder=0.0, reorder_window=0.5, corrupt=0.0
+    ):
+        """Install seeded message-level adversity (duplication, bounded
+        reordering, payload corruption) network-wide."""
+        return self._require_faults().arm_adversity(
+            rng,
+            duplicate=duplicate,
+            reorder=reorder,
+            reorder_window=reorder_window,
+            corrupt=corrupt,
+        )
+
+    def disarm_adversity(self):
+        """Stop perturbing messages (counters stay readable)."""
+        return self._require_faults().disarm_adversity()
+
     def rng(self, label, seed=None):
         """An independent RNG stream for ``label`` (see ``split_rng``).
 

@@ -1,5 +1,8 @@
 """Node-failure scenarios: crashes, crash/restart cycles, partitions,
-and the composite ``chaos`` stressor.
+the composite ``chaos`` stressor, and the *gray*-failure axis —
+``fail_slow`` (stragglers), ``flaky`` (intermittent heavy-loss links),
+``adversarial`` (message duplication/reordering/corruption), and the
+``gray_chaos`` composite.
 
 These promote node failure to the same first-class dynamic-condition
 axis the link scenarios occupy: declaratively configured, registered
@@ -19,7 +22,16 @@ contract needs.
 
 from repro.scenarios.base import Scenario, ScenarioHandle
 
-__all__ = ["Crash", "CrashRestart", "Partition", "Chaos"]
+__all__ = [
+    "Crash",
+    "CrashRestart",
+    "Partition",
+    "Chaos",
+    "FailSlow",
+    "Flaky",
+    "Adversarial",
+    "GrayChaos",
+]
 
 
 def _pick_victims(ctx, rng, fraction, count):
@@ -221,17 +233,21 @@ class Chaos(Scenario):
         self.squeeze = squeeze
         self.seed = seed
 
+    def _kind_menu(self):
+        """The weighted event menu; subclasses extend it."""
+        return (
+            ("crash", self.crash_weight),
+            ("restart", self.restart_weight),
+            ("partition", self.partition_weight),
+        )
+
     def install(self, ctx):
         handle = ScenarioHandle()
         if self.rate <= 0:
             return handle
         kinds = []
         weights = []
-        for kind, weight in (
-            ("crash", self.crash_weight),
-            ("restart", self.restart_weight),
-            ("partition", self.partition_weight),
-        ):
+        for kind, weight in self._kind_menu():
             if weight > 0:
                 kinds.append(kind)
                 weights.append(weight)
@@ -273,3 +289,376 @@ class Chaos(Scenario):
         ctx.fail_node(victim)
         if kind == "restart":
             ctx.restart_node(victim, after=self.down_time)
+
+
+class FailSlow(Scenario):
+    """Seeded fail-slow stragglers: alive, responsive, and useless.
+
+    ``count`` nodes (or ``fraction`` of the receivers when ``count`` is
+    0) are degraded one ``stagger`` apart starting at ``start``: each
+    victim's uplink capacity is multiplicatively squeezed to ``factor``
+    and its one-shot protocol timers stretched by ``stretch`` — the host
+    still answers every message, it just crawls.  With ``duration`` set
+    the degradation heals (the victim recovers and may be re-probed out
+    of quarantine); ``duration=None`` makes it permanent.
+
+    ``fraction=0`` with ``count=0`` installs nothing at all: no RNG
+    stream is created and no event is scheduled, making the run
+    bit-identical to the ``none`` scenario by construction.
+    """
+
+    name = "fail_slow"
+
+    def __init__(
+        self,
+        fraction=0.25,
+        count=0,
+        factor=0.2,
+        stretch=2.0,
+        start=10.0,
+        stagger=2.0,
+        duration=45.0,
+        seed=None,
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        if stretch < 1.0:
+            raise ValueError(f"stretch must be >= 1, got {stretch}")
+        if start < 0 or stagger < 0:
+            raise ValueError("start and stagger must be >= 0")
+        if duration is not None and duration <= 0:
+            raise ValueError(f"duration must be > 0 or None, got {duration}")
+        self.fraction = fraction
+        self.count = count
+        self.factor = factor
+        self.stretch = stretch
+        self.start = start
+        self.stagger = stagger
+        self.duration = duration
+        self.seed = seed
+
+    def _fire(self, ctx, node):
+        ctx.degrade_node(
+            node,
+            factor=self.factor,
+            stretch=self.stretch,
+            duration=self.duration,
+        )
+
+    def install(self, ctx):
+        handle = ScenarioHandle()
+        if self.fraction <= 0 and not self.count:
+            return handle
+        rng = ctx.rng(self.name, self.seed)
+        victims = _pick_victims(ctx, rng, self.fraction, self.count)
+        for index, node in enumerate(victims):
+            handle.add_timer(
+                ctx.sim.schedule(
+                    self.start + index * self.stagger, self._fire, ctx, node
+                )
+            )
+        return handle
+
+
+class Flaky(Scenario):
+    """Seeded intermittent heavy-loss (gray-link) windows per victim.
+
+    Each victim gets an independent renewal process of loss windows over
+    ``[start, start + duration)``: a window overlays a ``loss``
+    probability on the victim's access links for ``window`` seconds,
+    then the link heals for an exponential gap of mean ``gap`` seconds.
+    Window direction is drawn per window when ``direction='random'``
+    (uplink, downlink, or both — gray links are asymmetric in practice)
+    or fixed otherwise.  The whole timeline is drawn at install, so a
+    given (config, seed) produces one fixed schedule.
+
+    ``loss=0`` (or ``fraction=0`` with ``count=0``) installs nothing:
+    no RNG, no events — bit-identical to ``none``.
+    """
+
+    name = "flaky"
+
+    def __init__(
+        self,
+        fraction=0.25,
+        count=0,
+        loss=0.9,
+        window=4.0,
+        gap=8.0,
+        start=5.0,
+        duration=60.0,
+        direction="random",
+        seed=None,
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError(f"loss must be in [0, 1], got {loss}")
+        if window <= 0 or gap <= 0:
+            raise ValueError("window and gap must be > 0")
+        if start < 0 or duration < 0:
+            raise ValueError("start and duration must be >= 0")
+        if direction not in ("up", "down", "both", "random"):
+            raise ValueError(
+                "direction must be 'up', 'down', 'both', or 'random', "
+                f"got {direction!r}"
+            )
+        self.fraction = fraction
+        self.count = count
+        self.loss = loss
+        self.window = window
+        self.gap = gap
+        self.start = start
+        self.duration = duration
+        self.direction = direction
+        self.seed = seed
+
+    def _fire(self, ctx, node, direction):
+        ctx.flake_node(
+            node, loss=self.loss, duration=self.window, direction=direction
+        )
+
+    def install(self, ctx):
+        handle = ScenarioHandle()
+        if self.loss <= 0 or (self.fraction <= 0 and not self.count):
+            return handle
+        rng = ctx.rng(self.name, self.seed)
+        victims = _pick_victims(ctx, rng, self.fraction, self.count)
+        end = self.start + self.duration
+        for node in victims:
+            at = self.start + rng.expovariate(1.0 / self.gap)
+            while at < end:
+                direction = (
+                    rng.choice(("up", "down", "both"))
+                    if self.direction == "random"
+                    else self.direction
+                )
+                handle.add_timer(
+                    ctx.sim.schedule(at, self._fire, ctx, node, direction)
+                )
+                at += self.window + rng.expovariate(1.0 / self.gap)
+        return handle
+
+
+class Adversarial(Scenario):
+    """Constant message-level adversity over a window.
+
+    From ``start`` (until ``stop``, or forever), every delivered message
+    is subject to seeded duplication (absorbed by the receiver's
+    reliable transport, but counted), bounded reordering of control
+    messages (extra delay up to ``reorder_window`` seconds), and payload
+    corruption of blocks (probability ``corrupt``) — checksum-verifying
+    protocols detect and re-request, checksum-less ones are silently
+    poisoned.
+
+    All rates 0 installs nothing: no RNG, no events — bit-identical to
+    ``none``.
+    """
+
+    name = "adversarial"
+
+    def __init__(
+        self,
+        duplicate=0.01,
+        reorder=0.05,
+        reorder_window=0.5,
+        corrupt=0.01,
+        start=5.0,
+        stop=None,
+        seed=None,
+    ):
+        for label, value in (
+            ("duplicate", duplicate),
+            ("reorder", reorder),
+            ("corrupt", corrupt),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{label} rate must be in [0, 1), got {value}")
+        if reorder_window <= 0:
+            raise ValueError(f"reorder_window must be > 0, got {reorder_window}")
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        if stop is not None and stop <= start:
+            raise ValueError(f"stop must be > start, got {stop}")
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.reorder_window = reorder_window
+        self.corrupt = corrupt
+        self.start = start
+        self.stop = stop
+        self.seed = seed
+
+    def _arm(self, ctx, rng):
+        ctx.arm_adversity(
+            rng,
+            duplicate=self.duplicate,
+            reorder=self.reorder,
+            reorder_window=self.reorder_window,
+            corrupt=self.corrupt,
+        )
+
+    def install(self, ctx):
+        handle = ScenarioHandle()
+        if self.duplicate <= 0 and self.reorder <= 0 and self.corrupt <= 0:
+            return handle
+        rng = ctx.rng(self.name, self.seed)
+        handle.add_timer(ctx.sim.schedule(self.start, self._arm, ctx, rng))
+        if self.stop is not None:
+            handle.add_timer(
+                ctx.sim.schedule(self.stop, lambda: ctx.disarm_adversity())
+            )
+        handle.on_cancel(lambda: ctx.disarm_adversity())
+        return handle
+
+
+class GrayChaos(Chaos):
+    """``chaos`` plus the gray axis — the full-spectrum stressor.
+
+    Extends the Poisson fault stream with two new weighted event kinds:
+    a fail-slow *degrade* (uplink squeeze + timer stretch, healing after
+    ``degrade_duration``) and a gray-link *flake* (a ``flake_window``
+    heavy-loss window in a random direction).  On top, constant
+    message-level adversity (duplication / reordering / corruption) is
+    armed when the fault window opens.  Crash, restart, and partition
+    events keep their ``chaos`` semantics, caps, and weights.
+
+    ``rate=0`` installs nothing at all — no RNG, no adversity, no
+    events — bit-identical to ``none``.
+    """
+
+    name = "gray_chaos"
+
+    def __init__(
+        self,
+        rate=0.1,
+        start=5.0,
+        duration=120.0,
+        down_time=15.0,
+        partition_duration=15.0,
+        crash_weight=0.5,
+        restart_weight=1.0,
+        partition_weight=0.25,
+        degrade_weight=2.0,
+        flake_weight=1.5,
+        max_dead_fraction=0.25,
+        squeeze=1e-3,
+        degrade_factor=0.2,
+        stretch=2.0,
+        degrade_duration=40.0,
+        flake_loss=0.9,
+        flake_window=4.0,
+        duplicate=0.01,
+        reorder=0.05,
+        reorder_window=0.5,
+        corrupt=0.02,
+        seed=None,
+    ):
+        super().__init__(
+            rate=rate,
+            start=start,
+            duration=duration,
+            down_time=down_time,
+            partition_duration=partition_duration,
+            crash_weight=crash_weight,
+            restart_weight=restart_weight,
+            partition_weight=partition_weight,
+            max_dead_fraction=max_dead_fraction,
+            squeeze=squeeze,
+            seed=seed,
+        )
+        if min(degrade_weight, flake_weight) < 0:
+            raise ValueError("event weights must be >= 0")
+        if not 0.0 < degrade_factor <= 1.0:
+            raise ValueError(
+                f"degrade_factor must be in (0, 1], got {degrade_factor}"
+            )
+        if stretch < 1.0:
+            raise ValueError(f"stretch must be >= 1, got {stretch}")
+        if degrade_duration <= 0 or flake_window <= 0:
+            raise ValueError("degrade_duration and flake_window must be > 0")
+        if not 0.0 < flake_loss <= 1.0:
+            raise ValueError(f"flake_loss must be in (0, 1], got {flake_loss}")
+        for label, value in (
+            ("duplicate", duplicate),
+            ("reorder", reorder),
+            ("corrupt", corrupt),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{label} rate must be in [0, 1), got {value}")
+        if reorder_window <= 0:
+            raise ValueError(f"reorder_window must be > 0, got {reorder_window}")
+        self.degrade_weight = degrade_weight
+        self.flake_weight = flake_weight
+        self.degrade_factor = degrade_factor
+        self.stretch = stretch
+        self.degrade_duration = degrade_duration
+        self.flake_loss = flake_loss
+        self.flake_window = flake_window
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.reorder_window = reorder_window
+        self.corrupt = corrupt
+
+    def _kind_menu(self):
+        return super()._kind_menu() + (
+            ("degrade", self.degrade_weight),
+            ("flake", self.flake_weight),
+        )
+
+    def _arm_adversity(self, ctx, rng):
+        ctx.arm_adversity(
+            rng,
+            duplicate=self.duplicate,
+            reorder=self.reorder,
+            reorder_window=self.reorder_window,
+            corrupt=self.corrupt,
+        )
+
+    def install(self, ctx):
+        handle = super().install(ctx)
+        if self.rate > 0 and (
+            self.duplicate > 0 or self.reorder > 0 or self.corrupt > 0
+        ):
+            # A dedicated stream: the adversity draws per delivered
+            # message and must not perturb the fault timeline's draws.
+            rng = ctx.rng(f"{self.name}.adversity", self.seed)
+            handle.add_timer(
+                ctx.sim.schedule(self.start, self._arm_adversity, ctx, rng)
+            )
+            handle.on_cancel(lambda: ctx.disarm_adversity())
+        return handle
+
+    def _fire(self, ctx, rng, kind):
+        if kind == "degrade":
+            victim = self._gray_victim(ctx, rng)
+            if victim is not None:
+                ctx.degrade_node(
+                    victim,
+                    factor=self.degrade_factor,
+                    stretch=self.stretch,
+                    duration=self.degrade_duration,
+                )
+            return
+        if kind == "flake":
+            victim = self._gray_victim(ctx, rng)
+            if victim is not None:
+                ctx.flake_node(
+                    victim,
+                    loss=self.flake_loss,
+                    duration=self.flake_window,
+                    direction=rng.choice(("up", "down", "both")),
+                )
+            return
+        super()._fire(ctx, rng, kind)
+
+    def _gray_victim(self, ctx, rng):
+        """A live receiver to degrade/flake (never the source; gray
+        events do not kill, so the last-receiver guard is about keeping
+        at least one clean serving path, same spirit as ``chaos``)."""
+        faults = ctx._require_faults()
+        live = [n for n in ctx.receivers if n not in faults.failed]
+        if len(live) < 2:
+            return None
+        return rng.choice(live)

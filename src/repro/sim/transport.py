@@ -25,7 +25,7 @@ information becomes stale on lossy paths.
 
 from collections import deque
 
-__all__ = ["Message", "Connection", "Endpoint", "Network"]
+__all__ = ["Message", "MessageAdversity", "Connection", "Endpoint", "Network"]
 
 #: Per-message framing overhead in bytes (TCP/IP + protocol header).
 MESSAGE_HEADER_BYTES = 64
@@ -47,6 +47,7 @@ class Message:
         "is_block",
         "in_front",
         "wasted",
+        "corrupted",
         "_enqueued_at",
     )
 
@@ -60,10 +61,92 @@ class Message:
         #: Filled in by the sending channel for block messages.
         self.in_front = 0
         self.wasted = 0.0
+        #: Set by :class:`MessageAdversity` when the payload was damaged
+        #: in flight (the ``csum`` field, when present, no longer matches).
+        self.corrupted = False
         self._enqueued_at = None
 
     def __repr__(self):
         return f"Message({self.kind!r}, size={self.size}, block={self.is_block})"
+
+
+class MessageAdversity:
+    """Seeded message-level mischief: duplication, reordering, corruption.
+
+    Installed on ``Network.adversity`` by the fault injector (gray-failure
+    scenarios); ``None`` — the default — costs the delivery path a single
+    attribute read, so fault-free timelines are untouched.  All draws come
+    from one dedicated RNG stream, making the mischief a pure function of
+    the scenario seed.
+
+    Semantics are deliberately TCP-shaped:
+
+    - *Duplication* models a retransmitted segment whose original also
+      arrived: the receiver's reliable transport absorbs the copy, so the
+      duplicate costs one delivery event and is counted (``dup_dropped``)
+      but never dispatched to a protocol.
+    - *Reordering* adds a bounded extra delay to control messages (blocks
+      already serialize through the flow's rate); the in-order contract
+      between two blocks on one channel is preserved.
+    - *Corruption* damages a block's payload in flight: the message is
+      flagged and its ``csum`` field (when the sender attached one) is
+      perturbed, so checksum-verifying protocols detect the damage and
+      checksum-less ones silently ingest a poisoned block.
+    """
+
+    __slots__ = (
+        "sim",
+        "rng",
+        "duplicate",
+        "reorder",
+        "reorder_window",
+        "corrupt",
+        "stats",
+    )
+
+    def __init__(
+        self, sim, rng, duplicate=0.0, reorder=0.0, reorder_window=0.5, corrupt=0.0
+    ):
+        for name, value in (
+            ("duplicate", duplicate),
+            ("reorder", reorder),
+            ("corrupt", corrupt),
+        ):
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1), got {value}")
+        if reorder_window <= 0:
+            raise ValueError(
+                f"reorder_window must be > 0, got {reorder_window}"
+            )
+        self.sim = sim
+        self.rng = rng
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.reorder_window = reorder_window
+        self.corrupt = corrupt
+        self.stats = {"dup_dropped": 0, "reordered": 0, "corrupted": 0}
+
+    def _dup_absorbed(self):
+        # The duplicate copy arrives and the receiver's transport drops
+        # it — one event, one counter, no protocol dispatch.
+        self.stats["dup_dropped"] += 1
+
+    def apply(self, message, delay):
+        """Possibly perturb ``message``; returns its delivery delay."""
+        rng = self.rng
+        if self.duplicate > 0.0 and rng.random() < self.duplicate:
+            self.sim.schedule(delay, self._dup_absorbed)
+        if message.is_block:
+            if self.corrupt > 0.0 and rng.random() < self.corrupt:
+                message.corrupted = True
+                self.stats["corrupted"] += 1
+                payload = message.payload
+                if isinstance(payload, dict) and "csum" in payload:
+                    payload["csum"] = payload["csum"] ^ 0x5A5A5A5A
+        elif self.reorder > 0.0 and rng.random() < self.reorder:
+            delay += rng.random() * self.reorder_window
+            self.stats["reordered"] += 1
+        return delay
 
 
 class Channel:
@@ -295,6 +378,9 @@ class Channel:
             # the Mathis rate cap.
             if self._rng.random() < self._loss:
                 delay += self.flow.rto
+        adversity = self.network.adversity
+        if adversity is not None:
+            delay = adversity.apply(message, delay)
         # Bound-method + args scheduling: no per-message closure on the
         # busiest path in the simulator.
         self.sim.schedule(delay, self.connection._deliver, message)
@@ -541,6 +627,10 @@ class Network:
         #: timers on failure detection.  Never set in fault-free runs, so
         #: legacy timelines stay bit-identical.
         self.fault_detection = False
+        #: Optional :class:`MessageAdversity` installed by the fault
+        #: injector's gray-failure actuators; None (the default) keeps
+        #: the delivery path a single attribute read.
+        self.adversity = None
         #: In-flight messages dropped because the receiving twin was
         #: already closed (crash semantics make this routine; the
         #: invariant checker surfaces it as an informational counter).

@@ -166,6 +166,12 @@ def test_summary_perf_counters_deterministic_and_equivalent(scenario_name):
         "fd_rerequests",
         "fd_rejoins",
         "watchdog_fired",
+        # Gray-failure totals (PR 9): same always-present contract.
+        "gray_quarantines",
+        "gray_reprobes",
+        "gray_corrupt_detected",
+        "gray_dup_dropped",
+        "gray_reordered",
     }
     assert inc["events_processed"] == full["events_processed"]
     assert inc["reallocations"] == full["reallocations"]

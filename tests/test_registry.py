@@ -104,6 +104,7 @@ class TestSystemsRegistry:
 class TestScenariosRegistry:
     def test_catalogue_registered(self):
         assert SCENARIOS.names() == [
+            "adversarial",
             "asymmetric_squeeze",
             "cascading_cuts",
             "chaos",
@@ -111,8 +112,11 @@ class TestScenariosRegistry:
             "correlated_decreases",
             "crash",
             "crash_restart",
+            "fail_slow",
+            "flaky",
             "flash_crowd",
             "gilbert_elliott",
+            "gray_chaos",
             "lossy",
             "none",
             "oscillate",

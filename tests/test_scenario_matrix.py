@@ -53,15 +53,16 @@ def _comparable(summary):
 
 
 def test_matrix_matches_recorded_golden_summaries():
-    """All 224 golden cells reproduce bit for bit — via a *parallel*
-    sweep, proving worker count cannot perturb a single cell.  The 160
-    cells recorded before the fault-injection engine are among them,
-    untouched — fault-free runs schedule zero new events."""
+    """All 288 golden cells reproduce bit for bit — via a *parallel*
+    sweep, proving worker count cannot perturb a single cell.  The 224
+    cells recorded before the gray-failure engine are among them,
+    untouched — runs that never arm gray detection schedule zero new
+    events."""
     golden = json.loads(GOLDEN_PATH.read_text())
     spec = golden_matrix_spec(
         seeds=MATRIX_SEEDS, nodes=N, blocks=NB, max_time=MAX_TIME
     )
-    assert len(golden) == len(spec.expand()) == 224
+    assert len(golden) == len(spec.expand()) == 288
     result = run_sweep(spec, workers=2)
     seen = set()
     for record in result.records:

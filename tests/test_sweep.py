@@ -111,7 +111,7 @@ class TestSpecExpansion:
 
     def test_golden_matrix_spec_shape(self):
         cells = golden_matrix_spec().expand()
-        assert len(cells) == 224
+        assert len(cells) == 288
         assert all(c.topology == "mesh" and c.nodes == 8 for c in cells)
         assert {c.seed for c in cells} == {1, 3, 5, 7}
 
