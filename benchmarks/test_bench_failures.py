@@ -13,6 +13,7 @@ from conftest import run_once
 from repro.harness.experiment import run_experiment
 from repro.harness.report import FigureData
 from repro.harness.systems import bullet_prime_factory, splitstream_factory
+from repro.scenarios.failures import Crash
 from repro.sim.topology import mesh_topology
 
 
@@ -32,7 +33,7 @@ def _run(num_nodes, num_blocks, seed=9):
             mesh_topology(num_nodes, seed=seed),
             factory,
             num_blocks,
-            failure_schedule=failures,
+            scenario=Crash(schedule=failures),
             max_time=1800.0,
             seed=seed,
         )

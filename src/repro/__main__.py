@@ -14,6 +14,8 @@ Registry-driven runs — any system under any scenario::
         --nodes 40 --blocks 320 --json
     python -m repro run --system bittorrent --scenario churn \\
         --topology planetlab
+    python -m repro run --system bullet_prime --scenario gilbert_elliott \\
+        --flow-model bbr
     python -m repro run --system bullet_prime --scenario crash \\
         --nodes 20 --blocks 64
     python -m repro run --system bullet_prime --scenario chaos \\
@@ -60,7 +62,7 @@ import time
 
 from repro.harness.experiment import run_experiment
 from repro.harness.figures import FIGURES, run_figure
-from repro.harness.registry import SCENARIOS, SYSTEMS, WORKLOADS
+from repro.harness.registry import FLOW_MODELS, SCENARIOS, SYSTEMS, WORKLOADS
 from repro.harness.sweep import (
     TOPOLOGIES,
     SweepSpec,
@@ -138,6 +140,12 @@ def _parse_run_args(argv):
         help="dynamic-network scenario name or alias (see 'repro list')",
     )
     parser.add_argument(
+        "--flow-model",
+        default="reno",
+        help="underlay rate-control model name or alias "
+        "(reno, bbr, autorate; see 'repro list')",
+    )
+    parser.add_argument(
         "--topology",
         default="mesh",
         choices=sorted(TOPOLOGIES),
@@ -193,6 +201,7 @@ def _run_command(argv):
     try:
         system = SYSTEMS.get(args.system)
         scenario_entry = SCENARIOS.get(args.scenario)
+        flow_model_entry = FLOW_MODELS.get(args.flow_model)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -220,6 +229,7 @@ def _run_command(argv):
         scenario=scenario,
         max_time=args.max_time,
         seed=args.seed,
+        flow_model=flow_model_entry.name,
         watchdog_window=args.watchdog_window,
         check_invariants=not args.no_invariants,
     )
@@ -255,6 +265,7 @@ def _run_command(argv):
         doc = {
             "system": system.name,
             "scenario": scenario_entry.name,
+            "flow_model": flow_model_entry.name,
             "topology": args.topology,
             "nodes": args.nodes,
             "blocks": args.blocks,
@@ -269,8 +280,13 @@ def _run_command(argv):
             doc["profile"] = profile
         print(json.dumps(doc, indent=1, sort_keys=True))
     else:
+        underlay = (
+            ""
+            if flow_model_entry.name == "reno"
+            else f" over {flow_model_entry.name}"
+        )
         print(
-            f"{system.name} under {scenario_entry.name} on "
+            f"{system.name} under {scenario_entry.name}{underlay} on "
             f"{args.topology}({args.nodes} nodes, {args.blocks} blocks, "
             f"seed {args.seed}):"
         )
@@ -367,6 +383,14 @@ def _parse_sweep_args(argv):
         help="comma-separated scenario names/aliases",
     )
     parser.add_argument(
+        "--flow-models",
+        "--flow-model",
+        dest="flow_models",
+        default=None,
+        help="comma-separated underlay flow-model names/aliases "
+        "(reno, bbr, autorate)",
+    )
+    parser.add_argument(
         "--topologies",
         default=None,
         help=f"comma-separated topology families ({', '.join(sorted(TOPOLOGIES))})",
@@ -446,6 +470,7 @@ def _build_sweep_spec(args):
                 ("--spec", args.spec),
                 ("--systems", args.systems),
                 ("--scenarios", args.scenarios),
+                ("--flow-models", args.flow_models),
                 ("--topologies", args.topologies),
                 ("--nodes", args.nodes),
                 ("--blocks", args.blocks),
@@ -469,6 +494,8 @@ def _build_sweep_spec(args):
         doc["systems"] = _comma_list(args.systems)
     if args.scenarios is not None:
         doc["scenarios"] = _comma_list(args.scenarios)
+    if args.flow_models is not None:
+        doc["flow_models"] = _comma_list(args.flow_models)
     if args.topologies is not None:
         doc["topologies"] = _comma_list(args.topologies)
     if args.nodes is not None:
@@ -490,6 +517,8 @@ def _check_golden(result, golden):
         cell = record["cell"]
         if cell["scenario_params"]:
             continue  # goldens are recorded at catalogue defaults
+        if cell.get("flow_model", "reno") != "reno":
+            continue  # goldens are recorded on the default underlay
         key = f"{cell['system']}|{cell['scenario']}|{cell['seed']}"
         expected = golden.get(key)
         # Goldens pin the scale they were recorded at through their
@@ -771,7 +800,8 @@ def _perf_gate_command(argv):
 def _parse_list_args(argv):
     parser = argparse.ArgumentParser(
         prog="repro list",
-        description="List registered systems, scenarios, and workloads.",
+        description="List registered systems, scenarios, flow models, "
+        "and workloads.",
     )
     parser.add_argument(
         "--json", action="store_true", help="emit the listing as JSON"
@@ -784,6 +814,7 @@ def _list_command(argv):
     registries = [
         ("systems", SYSTEMS),
         ("scenarios", SCENARIOS),
+        ("flow_models", FLOW_MODELS),
         ("workloads", WORKLOADS),
     ]
     if args.json:

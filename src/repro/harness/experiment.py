@@ -8,6 +8,7 @@ limit).  The runner wires them to a fresh simulator and returns an
 """
 
 import gc
+import warnings
 
 from repro.common.rng import split_rng
 from repro.harness.faults import FaultInjector, LivenessWatchdog
@@ -28,6 +29,22 @@ def _resolve_scenario(scenario):
 
         return SCENARIOS.build(scenario)
     return scenario
+
+
+def _resolve_flow_model(flow_model):
+    """Accept ``None`` (default Reno), a registry name, or a model.
+
+    Name lookup goes through :data:`repro.harness.registry.FLOW_MODELS`
+    so aliases resolve and an unknown name fails with the registry's
+    listing of what exists — same contract as scenario resolution.
+    """
+    if flow_model is None:
+        return None  # FlowNetwork builds its default TcpModel
+    if isinstance(flow_model, str):
+        from repro.harness.registry import FLOW_MODELS
+
+        return FLOW_MODELS.build(flow_model)
+    return flow_model
 
 
 def _validated_failure_schedule(failure_schedule, topology, source_id):
@@ -149,6 +166,7 @@ def run_experiment(
     check_period=1.0,
     failure_schedule=(),
     flow_allocator="incremental",
+    flow_model=None,
     watchdog_window=60.0,
     check_invariants=False,
 ):
@@ -174,9 +192,13 @@ def run_experiment(
         Simulated-seconds cap; the run stops early once every surviving
         non-source node has completed.
     failure_schedule:
-        Optional ``[(time, node_id), ...]``: at each time the node is
-        *silently crashed* (connections aborted without notice, timers
-        die, handshakes black-hole) — the paper's section-1
+        **Deprecated** — pass ``scenario="crash"`` (or a
+        :class:`repro.scenarios.failures.Crash` with a ``schedule``)
+        instead; this wrapper emits a :class:`DeprecationWarning` and
+        will be removed one release after 2026-08.  Optional
+        ``[(time, node_id), ...]``: at each time the node is *silently
+        crashed* (connections aborted without notice, timers die,
+        handshakes black-hole) — the paper's section-1
         churn/reliability scenario.  Validated up front (unknown or
         duplicate nodes, negative/NaN times, and the source are
         rejected) and installed as a thin wrapper over the ``crash``
@@ -201,13 +223,24 @@ def run_experiment(
         component each pass.  The two are bit-identical by construction
         (same per-component arithmetic) — the knob exists for the
         equivalence tests and for perf comparisons.
+    flow_model:
+        The underlay rate-control law: a name registered in
+        :data:`repro.harness.registry.FLOW_MODELS` (``"reno"``,
+        ``"bbr"``, ``"autorate"``), a :class:`repro.sim.tcp.FlowModel`
+        instance, or ``None`` for the default Reno/Mathis model —
+        ``None`` and ``"reno"`` are bit-identical by construction (the
+        golden matrix pins it).
     """
     if flow_allocator not in ("incremental", "full"):
         raise ValueError(
             f"flow_allocator must be 'incremental' or 'full', got {flow_allocator!r}"
         )
     sim = Simulator()
-    flows = FlowNetwork(sim, incremental=(flow_allocator == "incremental"))
+    flows = FlowNetwork(
+        sim,
+        model=_resolve_flow_model(flow_model),
+        incremental=(flow_allocator == "incremental"),
+    )
     network = Network(
         sim, topology, flows, rng=split_rng(seed, "net.message_jitter")
     )
@@ -238,6 +271,13 @@ def run_experiment(
 
     scenario = _resolve_scenario(scenario)
     if failure_schedule:
+        warnings.warn(
+            "run_experiment(failure_schedule=...) is deprecated; pass "
+            "scenario=repro.scenarios.failures.Crash(schedule=...) (or "
+            'scenario="crash" with registry params) instead',
+            DeprecationWarning,
+            stacklevel=2,
+        )
         # Compat path: the explicit schedule becomes a crash scenario so
         # the silent-failure semantics, detector arming, and watchdog
         # all come from the one fault-injection pipeline.

@@ -24,6 +24,7 @@ __all__ = [
     "SYSTEMS",
     "SCENARIOS",
     "WORKLOADS",
+    "FLOW_MODELS",
 ]
 
 
@@ -260,3 +261,8 @@ SCENARIOS = Registry("scenario", populate="repro.scenarios")
 
 #: Workload generators (``repro.harness.workloads``).
 WORKLOADS = Registry("workload", populate="repro.harness.workloads")
+
+#: Underlay flow models (``repro.sim.flow_models``): the rate-control
+#: law each TCP flow obeys — ``reno`` (Mathis cap, the default),
+#: ``bbr``, ``autorate``.
+FLOW_MODELS = Registry("flow model", populate="repro.sim.flow_models")

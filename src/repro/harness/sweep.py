@@ -1,8 +1,8 @@
 """Parallel parameter sweeps over the experiment matrix.
 
 A sweep is a declarative grid — systems x scenarios (with per-scenario
-parameter grids) x topologies x node counts x block counts x seeds —
-expanded into independent *cells*, each one exactly the experiment
+parameter grids) x flow models x topologies x node counts x block
+counts x seeds — expanded into independent *cells*, each one exactly the experiment
 :func:`repro.harness.experiment.run_experiment` would run by hand.
 Cells execute serially or across a multiprocess worker pool; because
 every cell is a self-contained deterministic simulation seeded only by
@@ -31,7 +31,7 @@ import multiprocessing
 
 from repro.common import stats
 from repro.harness.experiment import run_experiment
-from repro.harness.registry import SCENARIOS, SYSTEMS
+from repro.harness.registry import FLOW_MODELS, SCENARIOS, SYSTEMS
 from repro.sim.topology import (
     constrained_access_topology,
     mesh_topology,
@@ -85,6 +85,7 @@ class SweepCell:
         "seed",
         "max_time",
         "tree_fanout",
+        "flow_model",
     )
 
     def __init__(
@@ -98,6 +99,7 @@ class SweepCell:
         seed,
         max_time,
         tree_fanout=4,
+        flow_model="reno",
     ):
         self.system = system
         self.scenario = scenario
@@ -124,15 +126,30 @@ class SweepCell:
         self.seed = seed
         self.max_time = max_time
         self.tree_fanout = tree_fanout
+        # Canonicalized through the registry so aliases ("wanctl") and
+        # the canonical name render identical cell keys, and an unknown
+        # model fails here — at spec/record time — with the registry's
+        # clear "available: [...]" error, not mid-sweep.
+        self.flow_model = FLOW_MODELS.get(flow_model).name
 
     def condition_key(self):
         """Cell identity minus system and seed — everything a paired
-        comparison holds fixed, e.g. ``oscillate[period=4.0]|mesh|n8|b24``."""
+        comparison holds fixed, e.g. ``oscillate[period=4.0]|mesh|n8|b24``.
+
+        The flow model joins the key as a ``|fm=<model>`` field **only
+        when it is not the default** ``reno``: every key ever rendered
+        before the flow-model axis existed stays byte-identical (golden
+        stores, compare fixtures), while non-default underlays can never
+        pair with default cells.
+        """
         params = ",".join(
             f"{k}={json.dumps(v)}" for k, v in self.scenario_params.items()
         )
         scenario = self.scenario + (f"[{params}]" if params else "")
-        return f"{scenario}|{self.topology}|n{self.nodes}|b{self.blocks}"
+        key = f"{scenario}|{self.topology}|n{self.nodes}|b{self.blocks}"
+        if self.flow_model != "reno":
+            key += f"|fm={self.flow_model}"
+        return key
 
     def group_key(self):
         """The key minus the seed: cells sharing it aggregate together."""
@@ -184,11 +201,18 @@ class SweepSpec:
         seeds=(0,),
         max_time=3600.0,
         tree_fanout=4,
+        flow_models=("reno",),
     ):
         self.systems = [SYSTEMS.get(name).name for name in _as_list(systems, "systems")]
         self.scenarios = [
             self._normalize_scenario(entry)
             for entry in _as_list(scenarios, "scenarios")
+        ]
+        # Canonicalize (and reject unknown names) at spec time, exactly
+        # like systems and scenarios above.
+        self.flow_models = [
+            FLOW_MODELS.get(name).name
+            for name in _as_list(flow_models, "flow_models")
         ]
         self.topologies = list(_as_list(topologies, "topologies"))
         for topology in self.topologies:
@@ -244,7 +268,7 @@ class SweepSpec:
         doc = dict(doc)
         unknown = set(doc) - {
             "systems", "scenarios", "topologies", "nodes", "blocks",
-            "seeds", "max_time", "tree_fanout",
+            "seeds", "max_time", "tree_fanout", "flow_models",
         }
         if unknown:
             raise ValueError(f"sweep spec: unknown fields {sorted(unknown)}")
@@ -269,6 +293,7 @@ class SweepSpec:
             "seeds": list(self.seeds),
             "max_time": self.max_time,
             "tree_fanout": self.tree_fanout,
+            "flow_models": list(self.flow_models),
         }
 
     def expand(self):
@@ -279,23 +304,25 @@ class SweepSpec:
         for system in self.systems:
             for scenario_name, grid in self.scenarios:
                 for params in self._scenario_points(grid):
-                    for topology in self.topologies:
-                        for nodes in self.nodes:
-                            for blocks in self.blocks:
-                                for seed in self.seeds:
-                                    cells.append(
-                                        SweepCell(
-                                            system,
-                                            scenario_name,
-                                            params,
-                                            topology,
-                                            nodes,
-                                            blocks,
-                                            seed,
-                                            self.max_time,
-                                            self.tree_fanout,
+                    for flow_model in self.flow_models:
+                        for topology in self.topologies:
+                            for nodes in self.nodes:
+                                for blocks in self.blocks:
+                                    for seed in self.seeds:
+                                        cells.append(
+                                            SweepCell(
+                                                system,
+                                                scenario_name,
+                                                params,
+                                                topology,
+                                                nodes,
+                                                blocks,
+                                                seed,
+                                                self.max_time,
+                                                self.tree_fanout,
+                                                flow_model=flow_model,
+                                            )
                                         )
-                                    )
         seen = set()
         for cell in cells:
             key = cell.key()
@@ -350,6 +377,7 @@ def run_cell(cell):
         max_time=cell.max_time,
         tree_fanout=cell.tree_fanout,
         seed=cell.seed,
+        flow_model=cell.flow_model,
     )
     return {
         "key": cell.key(),

@@ -159,9 +159,23 @@ SYSTEMS.register(
     config=SplitStreamConfig,
 )
 
-#: Legacy view: name -> (factory builder, config class).  Derived from
-#: the registry; prefer ``SYSTEMS`` in new code.
-SYSTEM_FACTORIES = {
-    name: (entry.builder, entry.extras["config"])
-    for name, entry in SYSTEMS.items()
-}
+def __getattr__(name):
+    # Legacy view, deprecated: name -> (factory builder, config class).
+    # Derived from the registry on access (module-level __getattr__, PEP
+    # 562) so importing it — the only way to reach it — warns once per
+    # call site; removal is scheduled one release after 2026-08.
+    if name == "SYSTEM_FACTORIES":
+        import warnings
+
+        warnings.warn(
+            "SYSTEM_FACTORIES is deprecated; use "
+            "repro.harness.registry.SYSTEMS (entry.builder and "
+            "entry.extras['config']) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            name: (entry.builder, entry.extras["config"])
+            for name, entry in SYSTEMS.items()
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,364 @@
+"""Model-based underlay rate controllers: ``bbr`` and ``autorate``.
+
+:mod:`repro.sim.tcp` defines the :class:`~repro.sim.tcp.FlowModel`
+interface and the default loss-based ``reno`` model (the Mathis cap the
+paper's evaluation assumed).  This module ships the two *model-based*
+competitors ROADMAP item 3 asked for, registered — together with
+``reno`` — in :data:`repro.harness.registry.FLOW_MODELS`:
+
+``bbr``
+    A deterministic approximation of BBR's bandwidth estimator: the
+    bottleneck bandwidth is the **windowed maximum** of the delivery
+    rates the allocator actually settled for the flow (the same
+    max-filter structure cellular BBR analyses use), the pacing cap
+    cycles through a probe/drain gain schedule, and inflight is bounded
+    by ``cwnd_gain * btlbw * min_rtt / rtt`` so a path whose delay
+    inflates sees its cap shrink.  Loss never enters the cap — under
+    ``gilbert_elliott`` this is the controller that does *not* collapse
+    like ``1/sqrt(p)``.
+
+``autorate``
+    A CAKE-autorate/wanctl-style shaper: each flow's path is classified
+    GREEN / YELLOW / RED from the RTT delta against the lowest RTT ever
+    observed on the path (with a loss-level secondary trigger, since
+    the condition engine's bursty-loss scenarios leave delay untouched),
+    and the cap follows the wanctl asymmetry — **fast backoff** (one RED
+    control tick halves the cap, straight down to a floor fraction of
+    the best rate seen) and **slow recovery** (several consecutive GREEN
+    ticks buy one additive step back up).
+
+Both models are ``dynamic = True``: the allocator feeds them every
+settled rate (:meth:`~repro.sim.tcp.FlowModel.observe_rate`), notifies
+them when a path's invariants move
+(:meth:`~repro.sim.tcp.FlowModel.path_refreshed`), and consults
+:meth:`~repro.sim.tcp.FlowModel.dynamic_cap` on every fill.  All state
+is a pure function of (event times, settled rates), both of which are
+deterministic per cell, so sweeps over these models are bit-identical
+at any worker count — the same contract the golden matrix pins for
+``reno``.
+"""
+
+import math
+from collections import deque
+
+from repro.harness.registry import FLOW_MODELS, Param
+from repro.sim.tcp import FlowModel, TcpModel
+
+__all__ = ["BbrModel", "AutorateModel"]
+
+
+class _BbrState:
+    """Per-flow BBR scratch (``flow.model_state``)."""
+
+    __slots__ = ("wedge", "min_rtt", "cycle_start")
+
+    def __init__(self, rtt, now):
+        #: Monotonic-max wedge of ``(time, rate)`` delivery samples:
+        #: rates decrease front-to-back, so the front is the windowed
+        #: maximum and both insert and expiry are amortized O(1).
+        self.wedge = deque()
+        self.min_rtt = rtt
+        self.cycle_start = now
+
+
+class BbrModel(FlowModel):
+    """Windowed-max delivery-rate estimation with a probe/drain cycle.
+
+    The steady-state cap is ``inf`` — the live bound comes from
+    :meth:`dynamic_cap`: ``gain * btlbw`` with ``btlbw`` the windowed
+    max of settled rates and ``gain`` cycling through
+    ``[probe, drain, 1, 1, 1, 1, 1, 1]`` (phase advances every
+    ``phase_time`` seconds, deterministically from simulated time), all
+    bounded by the BDP-derived inflight limit
+    ``cwnd_gain * btlbw * min_rtt / rtt``.
+    """
+
+    name = "bbr"
+    dynamic = True
+
+    def __init__(self, window=10.0, probe_gain=1.25, drain_gain=0.75,
+                 cwnd_gain=2.0, phase_time=0.25, **kwargs):
+        super().__init__(**kwargs)
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        if phase_time <= 0:
+            raise ValueError(f"phase_time must be > 0, got {phase_time}")
+        if drain_gain <= 0 or probe_gain <= 0 or cwnd_gain <= 0:
+            raise ValueError("gains must be > 0")
+        self.window = window
+        self.probe_gain = probe_gain
+        self.drain_gain = drain_gain
+        self.cwnd_gain = cwnd_gain
+        self.phase_time = phase_time
+        #: BBR's ProbeBW gain cycle: one probe phase, one drain phase,
+        #: six cruise phases.
+        self.gains = (probe_gain, drain_gain, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+    def steady_state_cap(self, links):
+        # Loss-insensitive: no static bound, the windowed estimator is
+        # the only cap.
+        return math.inf
+
+    def flow_started(self, flow, now):
+        flow.model_state = _BbrState(flow.rtt, now)
+
+    def path_refreshed(self, flow, now):
+        st = flow.model_state
+        # Track the lowest RTT the path ever showed; a delay increase
+        # then shrinks the inflight bound (min_rtt/rtt < 1) exactly as
+        # BBR's BDP limit would under bufferbloat.
+        if flow.rtt < st.min_rtt:
+            st.min_rtt = flow.rtt
+
+    def observe_rate(self, flow, rate, now):
+        st = flow.model_state
+        wedge = st.wedge
+        horizon = now - self.window
+        while wedge and wedge[0][0] < horizon:
+            wedge.popleft()
+        while wedge and wedge[-1][1] <= rate:
+            wedge.pop()
+        wedge.append((now, rate))
+
+    def dynamic_cap(self, flow, now):
+        st = flow.model_state
+        wedge = st.wedge
+        horizon = now - self.window
+        while wedge and wedge[0][0] < horizon:
+            wedge.popleft()
+        if not wedge:
+            # No delivery samples inside the window (fresh or long-idle
+            # flow): unbounded, the ramp and the fair share govern.
+            return math.inf
+        btlbw = wedge[0][1]
+        rtt = flow.rtt if flow.rtt > 1e-4 else 1e-4
+        if btlbw <= 0.0:
+            return self.mss / rtt
+        phase = int((now - st.cycle_start) / self.phase_time) % 8
+        cap = btlbw * self.gains[phase]
+        inflight_bound = self.cwnd_gain * btlbw * st.min_rtt / rtt
+        if inflight_bound < cap:
+            cap = inflight_bound
+        floor = self.mss / rtt  # never below one segment per RTT
+        return cap if cap > floor else floor
+
+
+#: Autorate congestion states.
+_GREEN, _YELLOW, _RED = 0, 1, 2
+
+
+class _AutorateState:
+    """Per-flow autorate scratch (``flow.model_state``)."""
+
+    __slots__ = ("base_rtt", "cap", "max_rate", "green_streak", "last_tick")
+
+    def __init__(self, rtt, now):
+        self.base_rtt = rtt
+        #: Shaped ceiling; ``inf`` = unshaped (never backed off, or
+        #: fully recovered).
+        self.cap = math.inf
+        #: Best delivery rate ever settled — the reference the floors
+        #: and recovery steps are fractions of.
+        self.max_rate = 0.0
+        self.green_streak = 0
+        self.last_tick = now
+
+
+class AutorateModel(FlowModel):
+    """Delay-delta GREEN/YELLOW/RED shaper with wanctl's asymmetry.
+
+    Every ``control_interval`` of simulated time is one control tick
+    (ticks between allocator visits are caught up in closed form, so the
+    trajectory is independent of visit cadence).  The path is classified
+    from its current invariants: RED when the RTT exceeds the lowest
+    observed RTT by ``red_delta`` (or path loss reaches ``red_loss`` —
+    the secondary trigger for scenarios that burst loss without touching
+    delay), YELLOW at the ``yellow_*`` thresholds, GREEN otherwise.
+
+    RED ticks back off multiplicatively (``backoff`` per tick — one
+    sample is enough, there is no averaging delay) down to
+    ``floor_frac * max_rate``; YELLOW holds; only ``recovery_ticks``
+    *consecutive* GREEN ticks buy one ``step_frac * max_rate`` additive
+    step back up, and a cap recovered past ``max_rate`` returns to
+    unshaped.  Fast down, slow up — the wanctl asymmetry.
+    """
+
+    name = "autorate"
+    dynamic = True
+
+    def __init__(self, control_interval=0.05, yellow_delta=0.01,
+                 red_delta=0.03, yellow_loss=0.01, red_loss=0.04,
+                 backoff=0.5, floor_frac=0.2, step_frac=0.05,
+                 recovery_ticks=5, **kwargs):
+        super().__init__(**kwargs)
+        if control_interval <= 0:
+            raise ValueError(
+                f"control_interval must be > 0, got {control_interval}"
+            )
+        if not 0.0 < backoff < 1.0:
+            raise ValueError(f"backoff must be in (0, 1), got {backoff}")
+        if recovery_ticks < 1:
+            raise ValueError(
+                f"recovery_ticks must be >= 1, got {recovery_ticks}"
+            )
+        self.control_interval = control_interval
+        self.yellow_delta = yellow_delta
+        self.red_delta = red_delta
+        self.yellow_loss = yellow_loss
+        self.red_loss = red_loss
+        self.backoff = backoff
+        self.floor_frac = floor_frac
+        self.step_frac = step_frac
+        self.recovery_ticks = int(recovery_ticks)
+
+    def steady_state_cap(self, links):
+        # The shaper, not loss arithmetic, is the bound.
+        return math.inf
+
+    def flow_started(self, flow, now):
+        flow.model_state = _AutorateState(flow.rtt, now)
+
+    def path_refreshed(self, flow, now):
+        st = flow.model_state
+        if flow.rtt < st.base_rtt:
+            st.base_rtt = flow.rtt
+
+    def observe_rate(self, flow, rate, now):
+        st = flow.model_state
+        if rate > st.max_rate:
+            st.max_rate = rate
+
+    def _classify(self, flow, st):
+        delta = flow.rtt - st.base_rtt
+        if delta >= self.red_delta or flow.loss >= self.red_loss:
+            return _RED
+        if delta >= self.yellow_delta or flow.loss >= self.yellow_loss:
+            return _YELLOW
+        return _GREEN
+
+    def dynamic_cap(self, flow, now):
+        st = flow.model_state
+        ticks = int((now - st.last_tick) / self.control_interval)
+        if ticks > 0:
+            st.last_tick += ticks * self.control_interval
+            # All pending ticks run under the *current* classification
+            # (path invariants only move at discrete condition events,
+            # and those seed an allocation pass, so the window between
+            # visits is homogeneous to within one coalescing interval).
+            state = self._classify(flow, st)
+            if state == _RED:
+                st.green_streak = 0
+                cap = st.cap
+                if cap == math.inf:
+                    # First backoff: start shaping from the best rate
+                    # actually seen (nothing to shape before that).
+                    cap = st.max_rate
+                if cap > 0.0:
+                    rtt = flow.rtt if flow.rtt > 1e-4 else 1e-4
+                    floor = self.floor_frac * st.max_rate
+                    segment_floor = self.mss / rtt
+                    if floor < segment_floor:
+                        floor = segment_floor
+                    cap *= self.backoff ** ticks
+                    if cap < floor:
+                        cap = floor
+                    st.cap = cap
+            elif state == _YELLOW:
+                st.green_streak = 0
+            else:
+                if st.cap != math.inf and st.max_rate > 0.0:
+                    rt = self.recovery_ticks
+                    streak = st.green_streak
+                    steps = (streak + ticks) // rt - streak // rt
+                    if steps:
+                        st.cap += steps * self.step_frac * st.max_rate
+                        if st.cap >= st.max_rate:
+                            st.cap = math.inf
+                st.green_streak += ticks
+        return st.cap
+
+
+def _register():
+    FLOW_MODELS.register(
+        "reno",
+        TcpModel,
+        description=(
+            "loss-based Reno-shaped cap (Mathis model) — the paper's "
+            "underlay and the default"
+        ),
+        aliases=("tcp", "mathis"),
+        params=(
+            Param("mss", "int", 1460,
+                  "TCP maximum segment size (bytes)"),
+            Param("min_rto", "float", 0.2,
+                  "lower bound on the RTO estimate (seconds)"),
+            Param("ramp_initial_segments", "int", 4,
+                  "slow-start initial window (segments)"),
+        ),
+    )
+    FLOW_MODELS.register(
+        "bbr",
+        BbrModel,
+        description=(
+            "windowed-max delivery-rate estimator with probe/drain "
+            "gain cycle; loss-insensitive, delay-bounded inflight"
+        ),
+        aliases=("bbr_style",),
+        params=(
+            Param("window", "float", 10.0,
+                  "max-filter window over delivery samples (seconds)"),
+            Param("probe_gain", "float", 1.25,
+                  "pacing gain in the probe phase"),
+            Param("drain_gain", "float", 0.75,
+                  "pacing gain in the drain phase"),
+            Param("cwnd_gain", "float", 2.0,
+                  "inflight bound as a multiple of estimated BDP"),
+            Param("phase_time", "float", 0.25,
+                  "duration of one gain-cycle phase (seconds)"),
+            Param("mss", "int", 1460,
+                  "TCP maximum segment size (bytes)"),
+            Param("min_rto", "float", 0.2,
+                  "lower bound on the RTO estimate (seconds)"),
+            Param("ramp_initial_segments", "int", 4,
+                  "slow-start initial window (segments)"),
+        ),
+    )
+    FLOW_MODELS.register(
+        "autorate",
+        AutorateModel,
+        description=(
+            "CAKE-autorate-style GREEN/YELLOW/RED shaper: fast "
+            "multiplicative backoff to a rate floor, slow additive "
+            "recovery"
+        ),
+        aliases=("cake_autorate", "wanctl"),
+        params=(
+            Param("control_interval", "float", 0.05,
+                  "seconds of simulated time per control tick"),
+            Param("yellow_delta", "float", 0.01,
+                  "RTT increase over baseline entering YELLOW (seconds)"),
+            Param("red_delta", "float", 0.03,
+                  "RTT increase over baseline entering RED (seconds)"),
+            Param("yellow_loss", "float", 0.01,
+                  "path loss probability entering YELLOW"),
+            Param("red_loss", "float", 0.04,
+                  "path loss probability entering RED"),
+            Param("backoff", "float", 0.5,
+                  "multiplicative cap factor per RED tick"),
+            Param("floor_frac", "float", 0.2,
+                  "cap floor as a fraction of the best rate seen"),
+            Param("step_frac", "float", 0.05,
+                  "recovery step as a fraction of the best rate seen"),
+            Param("recovery_ticks", "int", 5,
+                  "consecutive GREEN ticks per recovery step"),
+            Param("mss", "int", 1460,
+                  "TCP maximum segment size (bytes)"),
+            Param("min_rto", "float", 0.2,
+                  "lower bound on the RTO estimate (seconds)"),
+            Param("ramp_initial_segments", "int", 4,
+                  "slow-start initial window (segments)"),
+        ),
+    )
+
+
+_register()

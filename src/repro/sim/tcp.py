@@ -1,14 +1,31 @@
-"""Flow-level TCP throughput model.
+"""Flow-level underlay rate-control models and the max-min allocator.
 
 Real Bullet' rides on per-peer TCP connections.  Their steady-state
 throughput is governed by (a) fair sharing of bottleneck links with
-competing flows and (b) the loss/RTT cap captured by the Mathis model::
+competing flows and (b) a per-flow rate bound imposed by the underlay's
+congestion controller.  Which controller is a pluggable axis: the
+abstract :class:`FlowModel` interface covers the path invariants (RTT,
+loss, RTO), the steady-state cap, and the post-connect ramp cap, and
+:class:`TcpModel` — registered as ``reno`` in
+:data:`repro.harness.registry.FLOW_MODELS` and the default everywhere —
+implements the loss-based Reno-shaped cap captured by the Mathis
+model::
 
     rate <= MSS / (RTT * sqrt(2*p/3))
 
+Model-based controllers (``bbr``, ``autorate`` — see
+:mod:`repro.sim.flow_models`) instead derive a *time-varying* cap from
+the allocator's own delivery-rate history and the path's delay
+evolution; they declare ``dynamic = True`` and receive the
+:meth:`FlowModel.observe_rate` / :meth:`FlowModel.path_refreshed` /
+:meth:`FlowModel.dynamic_cap` callbacks below.  Every dynamic hook is
+gated on that flag, so a :class:`FlowNetwork` running the default Reno
+model executes the exact pre-redesign instruction stream — the golden
+matrices pin this bit for bit.
+
 :class:`FlowNetwork` implements progressive filling (water-filling)
 max-min fair allocation over the links each flow traverses, with each
-flow additionally bounded by its Mathis cap and a slow-start ramp after
+flow additionally bounded by its model cap and a slow-start ramp after
 connection establishment.  Allocation is recomputed when the set of
 active flows changes or a link capacity changes; recomputations within
 ``reallocation_interval`` are coalesced to keep large experiments linear
@@ -81,14 +98,49 @@ from bisect import insort
 from operator import attrgetter
 from operator import itemgetter
 
-__all__ = ["TcpModel", "Flow", "FlowNetwork"]
+__all__ = ["FlowModel", "TcpModel", "Flow", "FlowNetwork"]
 
-#: TCP maximum segment size used by the Mathis cap, in bytes.
+#: TCP maximum segment size used by the rate-model caps, in bytes.
 MSS = 1460
 
 
-class TcpModel:
-    """Per-flow throughput bounds derived from path properties."""
+class FlowModel:
+    """Abstract underlay rate-control model.
+
+    A flow model answers four questions about any flow, given the links
+    its path traverses:
+
+    - the *path invariants* — RTT (:meth:`path_rtt`), aggregate loss
+      probability (:meth:`path_loss`), and the retransmission timeout
+      used to penalize control traffic (:meth:`retransmission_timeout`);
+    - the *steady-state cap* (:meth:`steady_state_cap`) — the rate bound
+      the controller converges to on this path (Reno: the Mathis cap;
+      model-based controllers: ``inf``, their live bound is dynamic);
+    - the *ramp cap* (:meth:`slow_start_cap_at`) — the bound while the
+      window grows after connection establishment.
+
+    Models whose live bound varies with time or history set
+    ``dynamic = True`` and implement the dynamic hooks: the allocator
+    then calls :meth:`flow_started` once per flow (attach per-flow state
+    to ``flow.model_state``), :meth:`observe_rate` whenever a fill
+    settles the flow's rate (the delivery-rate feed),
+    :meth:`path_refreshed` when a traversed link's loss or delay moved,
+    and :meth:`dynamic_cap` for the instantaneous cap on every fill.
+    All hooks are gated on ``dynamic`` at the call sites, so a static
+    model (Reno) pays nothing — its instruction stream is bit-identical
+    to the pre-interface allocator.
+
+    Subclasses share the Reno-shaped RTO and exponential ramp by
+    default; both are overridable.
+    """
+
+    #: Canonical registry name (display metadata; the registry is the
+    #: source of truth for lookup).
+    name = "abstract"
+    #: True when the steady-state cap varies with time/history.  Dynamic
+    #: flows never latch ``ramp_done`` — they re-enter every allocation
+    #: pass so the model's control loop ticks on the allocator cadence.
+    dynamic = False
 
     def __init__(self, mss=MSS, min_rto=0.2, ramp_initial_segments=4):
         self.mss = mss
@@ -106,17 +158,9 @@ class TcpModel:
         """Round-trip time: twice the one-way propagation delay."""
         return 2.0 * sum(link.delay for link in links)
 
-    def mathis_cap(self, links):
-        """Loss-bounded steady-state throughput in bytes/second.
-
-        Returns ``inf`` on loss-free paths (the fair-share allocation is
-        then the only bound, as for a long TCP flow with ample windows).
-        """
-        p = self.path_loss(links)
-        if p <= 0.0:
-            return math.inf
-        rtt = max(self.path_rtt(links), 1e-4)
-        return self.mss / (rtt * math.sqrt(2.0 * p / 3.0))
+    def steady_state_cap(self, links):
+        """Steady-state rate bound in bytes/second (``inf`` = unbounded)."""
+        raise NotImplementedError
 
     def retransmission_timeout(self, links):
         """RTO estimate used to penalize control messages on lossy paths."""
@@ -146,6 +190,48 @@ class TcpModel:
         """
         return self.slow_start_cap_at(self.path_rtt(links), age)
 
+    # -- dynamic-model hooks (no-ops for static models) --------------------
+
+    def flow_started(self, flow, now):
+        """Attach per-flow controller state (``flow.model_state``)."""
+
+    def observe_rate(self, flow, rate, now):
+        """One settled allocation: the model's delivery-rate feed."""
+
+    def path_refreshed(self, flow, now):
+        """The flow's path invariants were just recomputed (loss/delay
+        moved); dynamic models resample their delay baselines here."""
+
+    def dynamic_cap(self, flow, now):
+        """Instantaneous steady-state bound for a dynamic model."""
+        return flow.mathis_cap
+
+
+class TcpModel(FlowModel):
+    """Reno-shaped loss-based throughput bounds (the ``reno`` model).
+
+    The steady-state cap is the Mathis model's loss/RTT bound — the
+    underlay the paper evaluated against.  This model is static
+    (``dynamic`` stays False): its cap is a pure function of the path,
+    so the allocator's fast paths skip every dynamic hook.
+    """
+
+    name = "reno"
+
+    def mathis_cap(self, links):
+        """Loss-bounded steady-state throughput in bytes/second.
+
+        Returns ``inf`` on loss-free paths (the fair-share allocation is
+        then the only bound, as for a long TCP flow with ample windows).
+        """
+        p = self.path_loss(links)
+        if p <= 0.0:
+            return math.inf
+        rtt = max(self.path_rtt(links), 1e-4)
+        return self.mss / (rtt * math.sqrt(2.0 * p / 3.0))
+
+    steady_state_cap = mathis_cap
+
 
 class Flow:
     """One direction of a TCP connection, as seen by the allocator.
@@ -172,6 +258,7 @@ class Flow:
         "ramp_binding",
         "on_rate_change",
         "on_path_change",
+        "model_state",
         "_active",
         "_network",
         "_cap",
@@ -184,7 +271,11 @@ class Flow:
         self.name = name
         self.seq = -1
         self.links = tuple(links)
-        self.mathis_cap = model.mathis_cap(links)
+        #: Steady-state cap from the flow model.  The attribute keeps
+        #: its historical name (the Mathis cap is what the default Reno
+        #: model computes here); dynamic models set it to ``inf`` and
+        #: impose their live bound through ``FlowModel.dynamic_cap``.
+        self.mathis_cap = model.steady_state_cap(links)
         self.rtt = model.path_rtt(links)
         self.loss = model.path_loss(links)
         self.rto = model.retransmission_timeout(links)
@@ -208,6 +299,10 @@ class Flow:
         #: because a traversed link's loss rate or delay changed; the
         #: transport re-reads its cached per-channel copies.
         self.on_path_change = None
+        #: Per-flow controller scratch owned by dynamic flow models
+        #: (``FlowModel.flow_started`` fills it in); None under the
+        #: static Reno model.
+        self.model_state = None
         self._active = False
         self._network = None
         #: Allocation scratch: instantaneous cap / frozen marker for the
@@ -257,6 +352,10 @@ class FlowNetwork:
                  incremental=True):
         self.sim = sim
         self.model = model if model is not None else TcpModel()
+        #: Hoisted dynamic-model gate: checked on the hot fill paths, so
+        #: static models (Reno, the default) execute the pre-interface
+        #: instruction stream with one extra falsy attribute read.
+        self._dynamic = bool(self.model.dynamic)
         self.reallocation_interval = reallocation_interval
         self.incremental = incremental
         self._active_flows = set()
@@ -303,6 +402,8 @@ class FlowNetwork:
         self._flow_seq += 1
         flow._network = self
         flow._path_epoch = self._cond_epoch
+        if self._dynamic:
+            self.model.flow_started(flow, self.sim.now)
         for link in links:
             if link.on_capacity_change is None:
                 link.on_capacity_change = self._capacity_changed
@@ -390,7 +491,7 @@ class FlowNetwork:
         self.path_refreshes += 1
         model = self.model
         links = flow.links
-        flow.mathis_cap = model.mathis_cap(links)
+        flow.mathis_cap = model.steady_state_cap(links)
         flow.rtt = model.path_rtt(links)
         flow.loss = model.path_loss(links)
         flow.rto = model.retransmission_timeout(links)
@@ -399,6 +500,11 @@ class FlowNetwork:
         flow._path_epoch = self._cond_epoch
         if flow._active:
             self._ramping_flows.add(flow)
+        if self._dynamic:
+            # Dynamic models resample their delay baselines here — this
+            # is the only place a path's RTT can move mid-run, so it is
+            # the autorate controller's congestion signal.
+            model.path_refreshed(flow, self.sim.now)
         if flow.on_path_change is not None:
             flow.on_path_change(flow)
 
@@ -422,16 +528,24 @@ class FlowNetwork:
         self.reallocate()
 
     def flow_cap(self, flow):
-        """Instantaneous per-flow rate bound (Mathis cap + slow-start).
+        """Instantaneous per-flow rate bound (steady cap + slow-start).
 
-        The slow-start window only grows, so once it crosses the Mathis
-        cap the result is ``mathis_cap`` forever; ``ramp_done`` latches
-        that and skips the exponential recompute from then on.
+        Static models (Reno): the slow-start window only grows, so once
+        it crosses the Mathis cap the result is ``mathis_cap`` forever;
+        ``ramp_done`` latches that and skips the exponential recompute
+        from then on.  Dynamic models: the steady bound itself moves
+        (and can *shrink*), so the latch never engages — the model's
+        ``dynamic_cap`` is consulted on every fill and the flow stays in
+        the ramping set, which keeps the periodic revisit loop (the
+        controller's tick) alive while the flow is active.
         """
         if flow.ramp_done:
             return flow.mathis_cap
         age = self.sim.now - flow.started_at
         ramp = self.model.slow_start_cap_at(flow.rtt, age)
+        if self._dynamic:
+            steady = self.model.dynamic_cap(flow, self.sim.now)
+            return ramp if ramp < steady else steady
         if ramp < flow.mathis_cap:
             return ramp
         flow.ramp_done = True
@@ -496,10 +610,17 @@ class FlowNetwork:
             seeds = [f for f in self._dirty_flows if f._active]
             for link in self._dirty_links:
                 seeds.extend(link.flows)
-            # Ramping flows force a refill only while their slow-start
-            # cap is *binding*: a cap already above the flow's share
-            # cannot change the component's allocation by growing.
-            seeds.extend(f for f in self._ramping_flows if f.ramp_binding)
+            if self._dynamic:
+                # Dynamic-model caps can *shrink* (backoff), so a cap
+                # that was non-binding last pass may bind now: every
+                # live flow must be revisited, binding or not.
+                seeds.extend(self._ramping_flows)
+            else:
+                # Ramping flows force a refill only while their
+                # slow-start cap is *binding*: a cap already above the
+                # flow's share cannot change the component's allocation
+                # by growing.
+                seeds.extend(f for f in self._ramping_flows if f.ramp_binding)
             # Seed order (and duplicates) cannot influence results:
             # discovery dedups via visit stamps, component membership is
             # order-free, and both the flows within a component and the
@@ -585,6 +706,11 @@ class FlowNetwork:
             rate = cap if cap <= share else share
             if not flow.ramp_done:
                 flow.ramp_binding = rate >= cap
+            if self._dynamic:
+                # Feed the model even when the rate is unchanged: a
+                # windowed filter (BBR) must see fresh samples so old
+                # maxima can expire out of the window.
+                self.model.observe_rate(flow, rate, self.sim.now)
             diff = rate - flow.rate
             if diff > 1e-9 or diff < -1e-9:
                 old_rate = flow.rate
@@ -601,6 +727,11 @@ class FlowNetwork:
         epoch = self._alloc_epoch
         inf = math.inf
         flow_cap = self.flow_cap
+        # Dynamic models sample the settled rate at every freeze (even
+        # an unchanged one — windowed filters need fresh samples so old
+        # maxima can expire); ``None`` keeps the static path branch-only.
+        observe = self.model.observe_rate if self._dynamic else None
+        now = self.sim.now
         min_cap = inf
         entries = []
         n_links = 0
@@ -706,6 +837,8 @@ class FlowNetwork:
                     # positive, so no clamp needed.
                     if not flow.ramp_done:
                         flow.ramp_binding = True
+                    if observe is not None:
+                        observe(flow, rate, now)
                     diff = rate - flow.rate
                     if diff > 1e-9 or diff < -1e-9:
                         old_rate = flow.rate
@@ -750,6 +883,8 @@ class FlowNetwork:
                         if not flow.ramp_done:
                             flow.ramp_binding = False
                         rate = bottleneck_share if bottleneck_share > 0.0 else 0.0
+                        if observe is not None:
+                            observe(flow, rate, now)
                         diff = rate - flow.rate
                         if diff > 1e-9 or diff < -1e-9:
                             old_rate = flow.rate
@@ -789,6 +924,8 @@ class FlowNetwork:
             flow.ramp_binding = rate >= flow._cap
         if rate < 0.0:
             rate = 0.0
+        if self._dynamic:
+            self.model.observe_rate(flow, rate, self.sim.now)
         diff = rate - flow.rate
         if diff > 1e-9 or diff < -1e-9:
             old_rate = flow.rate

@@ -12,6 +12,26 @@ from repro.harness.experiment import run_experiment
 from repro.harness.systems import bullet_prime_factory, splitstream_factory
 from repro.sim.topology import mesh_topology
 
+# These tests deliberately keep exercising the deprecated
+# failure_schedule= compat wrapper until its removal: the deprecation
+# contract is "still works, but warns".  The warning itself is asserted
+# once, below.
+pytestmark = pytest.mark.filterwarnings(
+    "ignore:run_experiment.failure_schedule:DeprecationWarning"
+)
+
+
+def test_failure_schedule_is_deprecated():
+    with pytest.warns(DeprecationWarning, match="crash"):
+        run_experiment(
+            mesh_topology(6, seed=1),
+            bullet_prime_factory(num_blocks=8, seed=1),
+            8,
+            failure_schedule=[(1.0, 3)],
+            max_time=30.0,
+            seed=1,
+        )
+
 
 def test_source_cannot_be_failed():
     with pytest.raises(ValueError, match="source"):

@@ -156,6 +156,9 @@ class TestPartitionScenario:
         assert result.invariants.ok, result.invariants.violations
 
 
+@pytest.mark.filterwarnings(
+    "ignore:run_experiment.failure_schedule:DeprecationWarning"
+)
 class TestFailureScheduleValidation:
     def _attempt(self, schedule):
         return run_experiment(

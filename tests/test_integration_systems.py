@@ -5,8 +5,8 @@ on a small emulated topology, with the properties the paper relies on.
 import pytest
 
 from repro.harness.experiment import run_experiment
+from repro.harness.registry import SYSTEMS
 from repro.harness.systems import (
-    SYSTEM_FACTORIES,
     bittorrent_factory,
     bullet_factory,
     bullet_prime_factory,
@@ -32,9 +32,9 @@ def _run(builder, seed=1, scenario=None, **kwargs):
     )
 
 
-@pytest.mark.parametrize("name", sorted(SYSTEM_FACTORIES))
+@pytest.mark.parametrize("name", SYSTEMS.names())
 def test_system_completes(name):
-    builder, _ = SYSTEM_FACTORIES[name]
+    builder = SYSTEMS.get(name).builder
     result = _run(builder)
     assert result.finished, f"{name} did not finish"
     assert len(result.receiver_completion_times) == N - 1

@@ -3,13 +3,13 @@
 import pytest
 
 from repro.harness.registry import (
+    FLOW_MODELS,
     Param,
     Registry,
     SCENARIOS,
     SYSTEMS,
     WORKLOADS,
 )
-from repro.harness.systems import SYSTEM_FACTORIES
 from repro.scenarios import Scenario
 
 
@@ -93,12 +93,24 @@ class TestSystemsRegistry:
         assert SYSTEMS.get("bulletprime").name == "bullet_prime"
         assert SYSTEMS.get("bp").name == "bullet_prime"
 
-    def test_legacy_view_matches_registry(self):
-        assert sorted(SYSTEM_FACTORIES) == SYSTEMS.names()
-        for name, (builder, config) in SYSTEM_FACTORIES.items():
+    def test_legacy_view_deprecated_but_matches_registry(self):
+        # The compat dict still works for one release, but touching it
+        # must warn with a pointer at the registry replacement.
+        from repro.harness import systems
+
+        with pytest.warns(DeprecationWarning, match="SYSTEMS"):
+            factories = systems.SYSTEM_FACTORIES
+        assert sorted(factories) == SYSTEMS.names()
+        for name, (builder, config) in factories.items():
             entry = SYSTEMS.get(name)
             assert entry.builder is builder
             assert entry.extras["config"] is config
+
+    def test_other_missing_attributes_still_raise(self):
+        from repro.harness import systems
+
+        with pytest.raises(AttributeError, match="NOT_A_THING"):
+            systems.NOT_A_THING
 
 
 class TestScenariosRegistry:
@@ -196,8 +208,8 @@ class TestLiveRegistriesAreHardened:
     @pytest.mark.parametrize(
         "registry,name",
         [(SYSTEMS, "bullet_prime"), (SCENARIOS, "churn"),
-         (WORKLOADS, "software_update")],
-        ids=["systems", "scenarios", "workloads"],
+         (WORKLOADS, "software_update"), (FLOW_MODELS, "bbr")],
+        ids=["systems", "scenarios", "workloads", "flow_models"],
     )
     def test_duplicate_name_raises(self, registry, name):
         before = registry.get(name)
@@ -207,13 +219,58 @@ class TestLiveRegistriesAreHardened:
 
     @pytest.mark.parametrize(
         "registry,alias",
-        [(SYSTEMS, "bp"), (SCENARIOS, "cellular"), (WORKLOADS, "file")],
-        ids=["systems", "scenarios", "workloads"],
+        [(SYSTEMS, "bp"), (SCENARIOS, "cellular"), (WORKLOADS, "file"),
+         (FLOW_MODELS, "wanctl")],
+        ids=["systems", "scenarios", "workloads", "flow_models"],
     )
     def test_colliding_alias_raises(self, registry, alias):
         with pytest.raises(ValueError, match="collides"):
             registry.register("shiny_new_thing", lambda: None, aliases=(alias,))
         assert "shiny_new_thing" not in registry
+
+
+class TestFlowModelsRegistry:
+    def test_catalogue_registered(self):
+        assert FLOW_MODELS.names() == ["autorate", "bbr", "reno"]
+
+    def test_aliases(self):
+        assert FLOW_MODELS.get("tcp").name == "reno"
+        assert FLOW_MODELS.get("mathis").name == "reno"
+        assert FLOW_MODELS.get("wanctl").name == "autorate"
+        assert FLOW_MODELS.get("cake_autorate").name == "autorate"
+
+    def test_every_entry_builds_a_flow_model(self):
+        from repro.sim.tcp import FlowModel
+
+        for name in FLOW_MODELS.names():
+            model = FLOW_MODELS.build(name)
+            assert isinstance(model, FlowModel), name
+            assert model.name == name
+
+    def test_default_is_static_others_dynamic(self):
+        assert FLOW_MODELS.build("reno").dynamic is False
+        assert FLOW_MODELS.build("bbr").dynamic is True
+        assert FLOW_MODELS.build("autorate").dynamic is True
+
+    def test_declared_defaults_match_constructors(self):
+        for name in FLOW_MODELS.names():
+            model = FLOW_MODELS.build(name)
+            for param in FLOW_MODELS.get(name).params:
+                assert getattr(model, param.name) == param.default, (
+                    name, param.name,
+                )
+
+    def test_knobs_coerce_through_schema(self):
+        entry = FLOW_MODELS.get("autorate")
+        coerced = entry.coerce_params({"backoff": "0.6", "recovery_ticks": "3"})
+        assert coerced == {"backoff": 0.6, "recovery_ticks": 3}
+        model = entry.build(**coerced)
+        assert model.backoff == 0.6
+        assert model.recovery_ticks == 3
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="bbr"):
+            FLOW_MODELS.get("cubic")
 
 
 class TestWorkloadsRegistry:
